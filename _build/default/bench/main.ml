@@ -1,0 +1,136 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (§4) from the simulation — the reproduction proper. Part 2 runs
+   Bechamel micro-benchmarks of the library's own hot paths (wall-clock
+   cost of simulating the systems, one Test.make per reproduced
+   artifact plus the core data structures).
+
+   Run with --quick for a fast pass (fewer repetitions). *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures *)
+
+let reproduce () =
+  let reps = if quick then 40 else 150 in
+  let horizon_ms = if quick then 20_000.0 else 60_000.0 in
+  Camelot_experiments.Table1.run ();
+  Camelot_experiments.Table2.run ~reps ();
+  Camelot_experiments.Rpc_breakdown.run ~reps:(if quick then 200 else 1000) ();
+  Camelot_experiments.Fig2.run ~reps ();
+  Camelot_experiments.Table3.run ~reps ();
+  Camelot_experiments.Fig3.run ~reps ();
+  Camelot_experiments.Fig4.run ~horizon_ms ();
+  Camelot_experiments.Fig5.run ~horizon_ms ();
+  Camelot_experiments.Multicast.run ~reps:(if quick then 100 else 300) ();
+  Camelot_experiments.Ablations.run ~reps:(if quick then 30 else 80) ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+let bench_heap () =
+  let h = Camelot_sim.Heap.create () in
+  for i = 0 to 999 do
+    Camelot_sim.Heap.push h ~priority:(float_of_int ((i * 7919) mod 1000)) ~seq:i i
+  done;
+  let rec drain () =
+    match Camelot_sim.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let bench_rng () =
+  let rng = Camelot_sim.Rng.create ~seed:1 in
+  let acc = ref 0.0 in
+  for _ = 1 to 1000 do
+    acc := !acc +. Camelot_sim.Rng.uniform rng
+  done;
+  !acc
+
+let bench_engine () =
+  let eng = Camelot_sim.Engine.create () in
+  for i = 1 to 1000 do
+    Camelot_sim.Engine.schedule eng ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Camelot_sim.Engine.run eng
+
+let bench_lock_table () =
+  let eng = Camelot_sim.Engine.create () in
+  let t =
+    Camelot_lock.Lock_table.create eng ~is_ancestor:Camelot_core.Tid.is_ancestor
+  in
+  Camelot_sim.Fiber.spawn eng (fun () ->
+      for i = 0 to 99 do
+        let owner = Camelot_core.Tid.root ~origin:0 ~seq:i in
+        Camelot_lock.Lock_table.acquire t ~owner ~key:"k" Camelot_lock.Lock_table.Shared;
+        Camelot_lock.Lock_table.release_all t ~owner
+      done);
+  Camelot_sim.Engine.run eng
+
+let run_txn protocol subs =
+  let c = Camelot.Cluster.create ~sites:(subs + 1) () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Camelot_sim.Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Camelot_core.Tranman.begin_transaction tm in
+      for site = 0 to subs do
+        ignore
+          (Camelot.Cluster.op c ~origin:0 tid ~site
+             (Camelot_server.Data_server.Add ("x", 1))
+            : int)
+      done;
+      Camelot_core.Tranman.commit tm ~protocol tid)
+
+let tests =
+  Test.make_grouped ~name:"camelot" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"sim: heap 1k push+pop" (Staged.stage bench_heap);
+      Test.make ~name:"sim: rng 1k draws" (Staged.stage (fun () -> ignore (bench_rng () : float)));
+      Test.make ~name:"sim: engine 1k events" (Staged.stage bench_engine);
+      Test.make ~name:"lock: 100 acquire/release" (Staged.stage bench_lock_table);
+      Test.make ~name:"txn: local commit (Table 3 row 1)"
+        (Staged.stage (fun () ->
+             ignore (run_txn Camelot_core.Protocol.Two_phase 0 : Camelot_core.Protocol.outcome)));
+      Test.make ~name:"txn: 2PC 1-sub commit (Fig 2)"
+        (Staged.stage (fun () ->
+             ignore (run_txn Camelot_core.Protocol.Two_phase 1 : Camelot_core.Protocol.outcome)));
+      Test.make ~name:"txn: non-blocking 1-sub commit (Fig 3)"
+        (Staged.stage (fun () ->
+             ignore (run_txn Camelot_core.Protocol.Nonblocking 1 : Camelot_core.Protocol.outcome)));
+      Test.make ~name:"cluster: build 4 sites (Figs 4-5 rig)"
+        (Staged.stage (fun () -> ignore (Camelot.Cluster.create ~sites:4 () : Camelot.Cluster.t)));
+    ]
+
+let micro_benchmarks () =
+  Camelot_experiments.Report.header "Micro-benchmarks (Bechamel, wall-clock)";
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+        | Some _ | None -> "(no estimate)"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Camelot_experiments.Report.table ~columns:[ "BENCH"; "TIME" ]
+    (List.sort compare !rows)
+
+let () =
+  reproduce ();
+  micro_benchmarks ();
+  print_newline ();
+  print_endline "bench: done."

@@ -1,0 +1,70 @@
+(* Command-line front end: run any of the paper's experiments
+   individually, with adjustable repetition counts. *)
+
+open Cmdliner
+
+let reps =
+  let doc = "Repetitions for latency experiments." in
+  Arg.(value & opt int 150 & info [ "reps" ] ~docv:"N" ~doc)
+
+let horizon =
+  let doc = "Virtual milliseconds per throughput run." in
+  Arg.(value & opt float 60_000.0 & info [ "horizon" ] ~docv:"MS" ~doc)
+
+let experiment name summary f =
+  let doc = summary in
+  Cmd.v (Cmd.info name ~doc) f
+
+let simple name summary run = experiment name summary Term.(const run $ const ())
+
+let with_reps name summary run =
+  experiment name summary Term.(const (fun reps () -> run ~reps ()) $ reps $ const ())
+
+let with_horizon name summary run =
+  experiment name summary
+    Term.(const (fun horizon_ms () -> run ~horizon_ms ()) $ horizon $ const ())
+
+let all_cmd =
+  let run reps horizon_ms () =
+    Camelot_experiments.Table1.run ();
+    Camelot_experiments.Table2.run ~reps ();
+    Camelot_experiments.Rpc_breakdown.run ~reps:(reps * 4) ();
+    Camelot_experiments.Fig2.run ~reps ();
+    Camelot_experiments.Table3.run ~reps ();
+    Camelot_experiments.Fig3.run ~reps ();
+    Camelot_experiments.Fig4.run ~horizon_ms ();
+    Camelot_experiments.Fig5.run ~horizon_ms ();
+    Camelot_experiments.Multicast.run ~reps:(reps * 2) ();
+    Camelot_experiments.Ablations.run ~reps:(max 20 (reps / 2)) ()
+  in
+  experiment "all" "Run every table, figure and ablation."
+    Term.(const run $ reps $ horizon $ const ())
+
+let cmds =
+  [
+    simple "table1" "Table 1: PC-RT and Mach benchmarks (calibration)."
+      Camelot_experiments.Table1.run;
+    with_reps "table2" "Table 2: latency of Camelot primitives."
+      (fun ~reps () -> Camelot_experiments.Table2.run ~reps ());
+    with_reps "table3" "Table 3: static vs empirical latency breakdown."
+      (fun ~reps () -> Camelot_experiments.Table3.run ~reps ());
+    with_reps "fig2" "Figure 2: two-phase commit latency vs subordinates."
+      (fun ~reps () -> Camelot_experiments.Fig2.run ~reps ());
+    with_reps "fig3" "Figure 3: non-blocking commit latency vs subordinates."
+      (fun ~reps () -> Camelot_experiments.Fig3.run ~reps ());
+    with_horizon "fig4" "Figure 4: update transaction throughput (VAX)."
+      (fun ~horizon_ms () -> Camelot_experiments.Fig4.run ~horizon_ms ());
+    with_horizon "fig5" "Figure 5: read transaction throughput (VAX)."
+      (fun ~horizon_ms () -> Camelot_experiments.Fig5.run ~horizon_ms ());
+    with_reps "rpc" "Section 4.1: RPC latency decomposition."
+      (fun ~reps () -> Camelot_experiments.Rpc_breakdown.run ~reps ());
+    with_reps "multicast" "Section 4.2/6: multicast variance reduction."
+      (fun ~reps () -> Camelot_experiments.Multicast.run ~reps ());
+    with_reps "ablations" "Ablations: §3.2 variants, read-only opt, quorums, batching window."
+      (fun ~reps () -> Camelot_experiments.Ablations.run ~reps ());
+    all_cmd;
+  ]
+
+let () =
+  let doc = "Reproduction of 'Analysis of Transaction Management Performance' (SOSP 1989)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "camelot-sim" ~doc) cmds))

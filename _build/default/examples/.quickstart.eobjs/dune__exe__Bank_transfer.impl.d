@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Camelot Camelot_core Camelot_server Camelot_sim Data_server Printf Protocol Tranman

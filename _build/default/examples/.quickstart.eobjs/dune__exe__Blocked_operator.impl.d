@@ -1,0 +1,1 @@
+examples/blocked_operator.ml: Camelot Camelot_core Camelot_mach Camelot_server Camelot_sim Camelot_wal Data_server Fiber Format List Option Printf Protocol Record Site State Tid Tranman

@@ -1,0 +1,1 @@
+examples/nested_travel.ml: Camelot Camelot_core Camelot_server Camelot_sim Data_server Printf Protocol Tranman

@@ -1,0 +1,1 @@
+examples/nonblocking_failover.ml: Camelot Camelot_core Camelot_mach Camelot_server Camelot_sim Camelot_wal Data_server Fiber List Printf Protocol Record Site State Tid Tranman

@@ -1,0 +1,1 @@
+examples/nonblocking_failover.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Camelot Camelot_core Camelot_server Camelot_sim Camelot_wal Data_server Printf Protocol Tid Tranman

@@ -1,0 +1,51 @@
+(* Distributed atomicity: transfer money between accounts held by data
+   servers on two different sites, under two-phase commitment. A
+   second transfer is vetoed by a server, showing that a distributed
+   abort undoes the partial work everywhere.
+
+   Run with: dune exec examples/bank_transfer.exe *)
+
+open Camelot_core
+open Camelot_server
+
+let balances cluster =
+  ( Data_server.peek (Camelot.Cluster.server cluster 0) "alice",
+    Data_server.peek (Camelot.Cluster.server cluster 1) "bob" )
+
+let () =
+  let cluster = Camelot.Cluster.create ~sites:2 () in
+  let tm = Camelot.Cluster.tranman cluster 0 in
+
+  Camelot_sim.Fiber.run (Camelot.Cluster.engine cluster) (fun () ->
+      (* fund the accounts *)
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:0 (Data_server.Write ("alice", 100)) : int);
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:1 (Data_server.Write ("bob", 50)) : int);
+      ignore (Tranman.commit tm tid : Protocol.outcome);
+
+      (* transfer 30 from alice (site 0) to bob (site 1): both updates
+         commit atomically via presumed-abort 2PC *)
+      let t0 = Camelot_sim.Fiber.now () in
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:0 (Data_server.Add ("alice", -30)) : int);
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:1 (Data_server.Add ("bob", 30)) : int);
+      (match Tranman.commit tm tid with
+      | Protocol.Committed ->
+          Printf.printf "transfer committed in %.1f ms of virtual time\n"
+            (Camelot_sim.Fiber.now () -. t0)
+      | Protocol.Aborted -> print_endline "transfer aborted?!");
+
+      (* a transfer the destination server refuses: the money must not
+         leave alice's account *)
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:0 (Data_server.Add ("alice", -30)) : int);
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:1 (Data_server.Add ("bob", 30)) : int);
+      Data_server.veto_next (Camelot.Cluster.server cluster 1) tid;
+      match Tranman.commit tm tid with
+      | Protocol.Committed -> print_endline "vetoed transfer committed?!"
+      | Protocol.Aborted -> print_endline "vetoed transfer aborted; both sites undone");
+
+  Camelot.Cluster.run ~until:5000.0 cluster;
+  let alice, bob = balances cluster in
+  Printf.printf "final balances: alice=%d bob=%d (total %d, conserved)\n" alice
+    bob (alice + bob)

@@ -1,0 +1,62 @@
+(* Nested transactions as a programming construct (§2: "transactions
+   can be arbitrarily nested, permitting programs to be written more
+   naturally"): a travel booking books a flight and a hotel as
+   subtransactions of one trip. The first hotel fails and is aborted
+   without disturbing the flight; an alternative hotel succeeds; the
+   whole trip then commits atomically across both sites.
+
+   Run with: dune exec examples/nested_travel.exe *)
+
+open Camelot_core
+open Camelot_server
+
+let () =
+  (* site 0: the travel agency (and coordinator); site 1: the hotels *)
+  let cluster = Camelot.Cluster.create ~sites:2 () in
+  let tm = Camelot.Cluster.tranman cluster 0 in
+  let seats srv = Data_server.peek (Camelot.Cluster.server cluster srv) in
+
+  Camelot_sim.Fiber.run (Camelot.Cluster.engine cluster) (fun () ->
+      (* inventory *)
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:0 (Data_server.Write ("flight_seats", 2)) : int);
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:1 (Data_server.Write ("grand_rooms", 0)) : int);
+      ignore (Camelot.Cluster.op cluster ~origin:0 tid ~site:1 (Data_server.Write ("plaza_rooms", 3)) : int);
+      ignore (Tranman.commit tm tid : Protocol.outcome);
+
+      (* the trip *)
+      let trip = Tranman.begin_transaction tm in
+
+      (* subtransaction 1: the flight *)
+      let flight = Tranman.begin_nested tm ~parent:trip in
+      ignore (Camelot.Cluster.op cluster ~origin:0 flight ~site:0 (Data_server.Add ("flight_seats", -1)) : int);
+      ignore (Tranman.commit tm flight : Protocol.outcome);
+      print_endline "flight booked (subtransaction committed into the trip)";
+
+      (* subtransaction 2: the Grand is full — abort only this branch *)
+      let grand = Tranman.begin_nested tm ~parent:trip in
+      let rooms = Camelot.Cluster.op cluster ~origin:0 grand ~site:1 (Data_server.Read "grand_rooms") in
+      if rooms > 0 then begin
+        ignore (Camelot.Cluster.op cluster ~origin:0 grand ~site:1 (Data_server.Add ("grand_rooms", -1)) : int);
+        ignore (Tranman.commit tm grand : Protocol.outcome)
+      end
+      else begin
+        Tranman.abort tm grand;
+        print_endline "the Grand is full: that subtransaction aborted alone"
+      end;
+
+      (* subtransaction 3: the Plaza instead *)
+      let plaza = Tranman.begin_nested tm ~parent:trip in
+      ignore (Camelot.Cluster.op cluster ~origin:0 plaza ~site:1 (Data_server.Add ("plaza_rooms", -1)) : int);
+      ignore (Tranman.commit tm plaza : Protocol.outcome);
+      print_endline "the Plaza booked instead";
+
+      (* the whole trip commits across both sites with 2PC *)
+      Camelot_sim.Fiber.sleep 100.0;
+      match Tranman.commit tm trip with
+      | Protocol.Committed -> print_endline "trip committed atomically"
+      | Protocol.Aborted -> print_endline "trip aborted?!");
+
+  Camelot.Cluster.run ~until:5000.0 cluster;
+  Printf.printf "flight seats left: %d; grand rooms: %d; plaza rooms: %d\n"
+    (seats 0 "flight_seats") (seats 1 "grand_rooms") (seats 1 "plaza_rooms")

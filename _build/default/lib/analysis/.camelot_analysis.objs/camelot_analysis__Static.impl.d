@@ -1,0 +1,1 @@
+lib/analysis/static.ml: Camelot_core Camelot_mach Cost_model Format List Printf String

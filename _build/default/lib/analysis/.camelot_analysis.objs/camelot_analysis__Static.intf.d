@@ -1,0 +1,1 @@
+lib/analysis/static.mli: Camelot_core Camelot_mach Format

@@ -1,0 +1,118 @@
+open Camelot_mach
+
+type step = { label : string; cost : float }
+
+type path = { steps : step list; total : float }
+
+type workload = { subordinates : int; update : bool }
+
+let make steps =
+  { steps; total = List.fold_left (fun acc s -> acc +. s.cost) 0.0 steps }
+
+(* Primitive step constructors; labels are stable so [forces] and
+   [datagrams] can count them. *)
+let ipc (m : Cost_model.t) label = { label; cost = m.local_ipc_ms }
+let server_ipc (m : Cost_model.t) label = { label; cost = m.local_ipc_to_server_ms }
+let oneway (m : Cost_model.t) label = { label; cost = m.local_oneway_ipc_ms }
+let force (m : Cost_model.t) label = { label = "log force: " ^ label; cost = m.log_force_ms }
+let datagram (m : Cost_model.t) label = { label = "datagram: " ^ label; cost = m.datagram_ms }
+let get_lock (m : Cost_model.t) = { label = "get lock"; cost = m.get_lock_ms }
+let drop_lock (m : Cost_model.t) = { label = "drop lock"; cost = m.drop_lock_ms }
+
+let remote_op (m : Cost_model.t) i =
+  [
+    { label = Printf.sprintf "remote operation RPC (sub %d)" i; cost = m.remote_rpc_ms };
+    { label = "remote join (sub TranMan IPC)"; cost = m.local_ipc_ms };
+    get_lock m;
+  ]
+
+(* The serial front of every minimal transaction: begin, the local
+   operation, the local join, the lock, then one remote operation per
+   subordinate (the application performs its operations in sequence —
+   §4.2), then the commit call and the local server's vote. *)
+let front m w =
+  [
+    ipc m "begin-transaction";
+    server_ipc m "local operation";
+    get_lock m;
+    ipc m "join-transaction";
+  ]
+  @ List.concat (List.init w.subordinates (fun i -> remote_op m (i + 1)))
+  @ [ ipc m "commit-transaction call"; ipc m "local server vote" ]
+
+(* After the decision: what it takes to drop locks at the slowest
+   subordinate (identical parallel operations assumed perfectly
+   parallel), for the critical path. *)
+let local_lock_release m = [ oneway m "drop-locks message"; drop_lock m ]
+
+let two_phase_completion m w =
+  if w.subordinates = 0 then
+    front m w @ (if w.update then [ force m "commit record" ] else [])
+  else
+    front m w
+    @ [ datagram m "prepare" ]
+    @ [ ipc m "subordinate server vote" ]
+    @ (if w.update then [ force m "subordinate prepare record" ] else [])
+    @ [ datagram m "vote" ]
+    @ if w.update then [ force m "coordinator commit record" ] else []
+
+let two_phase_critical m w =
+  two_phase_completion m w
+  @
+  if w.subordinates = 0 then local_lock_release m
+  else if w.update then datagram m "commit notice" :: local_lock_release m
+  else local_lock_release m
+
+let nonblocking_completion m w =
+  if w.subordinates = 0 then
+    front m w @ (if w.update then [ force m "commit record" ] else [])
+  else if not w.update then
+    (* read-only: identical to two-phase commit (§3.3) *)
+    two_phase_completion m w
+  else
+    front m w
+    @ [ datagram m "prepare" ]
+    @ [ ipc m "subordinate server vote" ]
+    @ [ force m "subordinate prepare record" ]
+    @ [ datagram m "vote" ]
+    @ [ force m "coordinator replication record" ]
+    @ [ datagram m "replicate" ]
+    @ [ force m "subordinate replication record" ]
+    @ [ datagram m "replicate-ack" ]
+    @ [ force m "coordinator commit record" ]
+
+let nonblocking_critical m w =
+  nonblocking_completion m w
+  @
+  if w.subordinates = 0 then local_lock_release m
+  else if w.update then datagram m "commit notice" :: local_lock_release m
+  else local_lock_release m
+
+let completion_path m ~protocol w =
+  make
+    (match protocol with
+    | Camelot_core.Protocol.Two_phase -> two_phase_completion m w
+    | Camelot_core.Protocol.Nonblocking -> nonblocking_completion m w)
+
+let critical_path m ~protocol w =
+  make
+    (match protocol with
+    | Camelot_core.Protocol.Two_phase -> two_phase_critical m w
+    | Camelot_core.Protocol.Nonblocking -> nonblocking_critical m w)
+
+let count prefix path =
+  List.length
+    (List.filter
+       (fun s -> String.length s.label >= String.length prefix
+                 && String.sub s.label 0 (String.length prefix) = prefix)
+       path.steps)
+
+let forces path = count "log force" path
+
+let datagrams path = count "datagram" path
+
+let pp_path ppf path =
+  List.iter
+    (fun s -> Format.fprintf ppf "  %-45s %6.1f ms@." s.label s.cost)
+    path.steps;
+  Format.fprintf ppf "  %-45s %6.1f ms@." "TOTAL" path.total

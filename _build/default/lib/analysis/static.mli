@@ -1,0 +1,51 @@
+(** Static (non-empirical) analysis of the commitment protocols, after
+    §4.2: "assuming that identical parallel operations proceed
+    perfectly in parallel and have constant service time, the length of
+    the critical path is simply that of the serial portion plus the
+    time of the slowest of each group of parallel operations."
+
+    A path is a list of labelled primitive costs drawn from a
+    {!Camelot_mach.Cost_model.t}. Two paths matter (§4.2):
+
+    - the {b completion path}: the shortest sequence of actions before
+      the synchronous commit-transaction call returns;
+    - the {b critical path}: the shortest sequence before, in addition,
+      all locks are dropped everywhere. In Camelot the critical path is
+      always longer than the completion path.
+
+    Because minor costs (CPU inside processes) are ignored, these sums
+    underestimate measured latency — exactly as the paper finds
+    (Table 3 accounts for 24.5 of 31 ms local-update, 99.5 of 110 ms
+    1-subordinate update, 9.5 of 13 ms local read). *)
+
+type step = { label : string; cost : float }
+
+type path = { steps : step list; total : float }
+
+(** The minimal transactions of §4.2/§4.3: one small operation per
+    participating site. [subordinates = 0] is a purely local
+    transaction. *)
+type workload = { subordinates : int; update : bool }
+
+(** Path until the commit call returns. *)
+val completion_path :
+  Camelot_mach.Cost_model.t ->
+  protocol:Camelot_core.Protocol.commit_protocol ->
+  workload ->
+  path
+
+(** Path until every lock everywhere is dropped. *)
+val critical_path :
+  Camelot_mach.Cost_model.t ->
+  protocol:Camelot_core.Protocol.commit_protocol ->
+  workload ->
+  path
+
+(** Log forces on a path (the "LF" of Table 3). *)
+val forces : path -> int
+
+(** Inter-site datagrams on a path (the "DG" of Table 3; operations'
+    RPCs are not datagrams). *)
+val datagrams : path -> int
+
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,1 @@
+lib/camelot/cluster.mli: Camelot_core Camelot_mach Camelot_net Camelot_server Camelot_sim Camelot_wal Record State Tid Tranman

@@ -1,0 +1,1 @@
+lib/camelot/metrics.ml: Camelot_core Camelot_mach Camelot_net Camelot_sim Camelot_wal Cluster Engine Format List Site State Sync Tranman

@@ -1,0 +1,1 @@
+lib/camelot/metrics.mli: Camelot_mach Cluster Format

@@ -1,0 +1,117 @@
+open Camelot_sim
+open Camelot_mach
+open Camelot_core
+
+type node = {
+  site : Site.t;
+  log : Record.t Camelot_wal.Log.t;
+  tranman : Tranman.t;
+  mutable servers : Camelot_server.Data_server.t list;
+}
+
+type t = {
+  engine : Engine.t;
+  lan : Camelot_net.Lan.t;
+  model : Cost_model.t;
+  nodes : node array;
+  flush_every_ms : float;
+}
+
+let server_name ~site_id ~index = Printf.sprintf "s%d_%d" site_id index
+
+let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
+    ?(group_commit = false) ?flush_every_ms ?(loss = 0.0) ~sites () =
+  if sites <= 0 then invalid_arg "Cluster.create: need at least one site";
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let lan = Camelot_net.Lan.create ~loss engine ~model ~rng:(Rng.split rng) in
+  let directory = Hashtbl.create 16 in
+  let base_config =
+    match config with Some c -> c | None -> State.default_config ()
+  in
+  let flush_every_ms =
+    match flush_every_ms with
+    | Some v -> v
+    | None -> Float.max 50.0 (4.0 *. model.Cost_model.log_force_ms)
+  in
+  let nodes =
+    Array.init sites (fun id ->
+        let site = Site.create engine ~id ~model ~rng:(Rng.split rng) in
+        let log = Camelot_wal.Log.create ~group_commit site in
+        Camelot_wal.Log.start_flusher log ~every:flush_every_ms;
+        let tranman =
+          Tranman.create site ~lan ~log ~directory
+            ~config:(State.copy_config base_config)
+        in
+        let servers =
+          List.init servers_per_site (fun index ->
+              Camelot_server.Data_server.create
+                ~name:(server_name ~site_id:id ~index)
+                ~tranman ~log ())
+        in
+        { site; log; tranman; servers })
+  in
+  { engine; lan; model; nodes; flush_every_ms }
+
+let engine t = t.engine
+let lan t = t.lan
+let sites t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Cluster.node: bad site";
+  t.nodes.(i)
+
+let tranman t i = (node t i).tranman
+let log t i = (node t i).log
+
+let server t ?(index = 0) i =
+  match List.nth_opt (node t i).servers index with
+  | Some srv -> srv
+  | None -> invalid_arg "Cluster.server: bad server index"
+
+let config t i = Tranman.config (tranman t i)
+
+let each_config t f = Array.iter (fun n -> f (Tranman.config n.tranman)) t.nodes
+
+let op t ~origin tid ~site:site_id ?(index = 0) o =
+  let origin_tm = tranman t origin in
+  let srv = server t ~index site_id in
+  if site_id = origin then
+    Comm.call_local origin_tm ~tid (fun () ->
+        Camelot_server.Data_server.execute srv tid o)
+  else
+    Comm.call_remote ~origin:origin_tm ~tid
+      ~server_site:(node t site_id).site (fun () ->
+        Camelot_server.Data_server.execute srv tid o)
+
+let checkpoint t i =
+  let n = node t i in
+  let ck_values = List.concat_map Camelot_server.Data_server.snapshot n.servers in
+  let ck_active = List.concat_map Camelot_server.Data_server.inflight n.servers in
+  ignore
+    (Camelot_wal.Log.append n.log (Record.Checkpoint { ck_values; ck_active })
+      : Camelot_wal.Log.lsn);
+  Camelot_wal.Log.force n.log
+
+let crash_site t i =
+  let n = node t i in
+  Site.crash n.site;
+  Camelot_wal.Log.crash n.log
+
+let restart_site t i =
+  let n = node t i in
+  Site.restart n.site;
+  Camelot_wal.Log.start_flusher n.log ~every:t.flush_every_ms;
+  Tranman.restart n.tranman;
+  List.iter
+    (fun srv ->
+      Camelot_server.Data_server.reset srv;
+      Camelot_server.Data_server.reattach srv)
+    n.servers;
+  Camelot_recovery.Recovery.run ~tranman:n.tranman ~log:n.log ~servers:n.servers
+
+let partition t groups = Camelot_net.Lan.partition t.lan groups
+
+let heal t = Camelot_net.Lan.heal t.lan
+
+let run ?until t = Engine.run ?until t.engine

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Camelot_mach Rpc Site Tranman

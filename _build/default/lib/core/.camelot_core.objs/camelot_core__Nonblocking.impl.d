@@ -1,0 +1,1 @@
+lib/core/nonblocking.ml: Camelot_mach Camelot_sim Engine Fiber List Mailbox Option Protocol Record Site State Subordinate Tid Two_phase

@@ -1,0 +1,1 @@
+lib/core/nonblocking.mli: Protocol State

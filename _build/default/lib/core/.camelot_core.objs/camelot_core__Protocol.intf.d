@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Camelot_mach Format Tid

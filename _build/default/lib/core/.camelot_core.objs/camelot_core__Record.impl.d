@@ -1,0 +1,1 @@
+lib/core/record.ml: Camelot_mach Format List Protocol String Tid

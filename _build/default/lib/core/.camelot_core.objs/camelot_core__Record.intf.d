@@ -1,0 +1,1 @@
+lib/core/record.mli: Camelot_mach Format Protocol Tid

@@ -1,0 +1,1 @@
+lib/core/state.ml: Camelot_mach Camelot_net Camelot_sim Camelot_wal Cost_model Format Hashtbl List Mailbox Protocol Record Rng Rpc Site String Sync Thread_pool Tid Trace

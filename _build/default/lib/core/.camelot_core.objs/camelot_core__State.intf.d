@@ -1,0 +1,1 @@
+lib/core/state.mli: Camelot_mach Camelot_net Camelot_sim Camelot_wal Cost_model Engine Format Hashtbl Mailbox Protocol Record Site Sync Thread_pool Tid Trace

@@ -1,0 +1,1 @@
+lib/core/subordinate.ml: Camelot_mach Camelot_sim Camelot_wal Fiber List Protocol Record Site State Tid

@@ -1,0 +1,1 @@
+lib/core/subordinate.mli: Camelot_mach Protocol State

@@ -1,0 +1,1 @@
+lib/core/tid.ml: Camelot_mach Format List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/tid.mli: Camelot_mach Format

@@ -1,0 +1,1 @@
+lib/core/tranman.ml: Camelot_mach Camelot_net Camelot_sim Camelot_wal Hashtbl List Mailbox Nonblocking Protocol Record Rpc Site State Stdlib Subordinate Sync Thread_pool Tid Trace Two_phase

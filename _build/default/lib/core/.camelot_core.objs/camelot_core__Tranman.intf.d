@@ -1,0 +1,1 @@
+lib/core/tranman.mli: Camelot_mach Camelot_net Camelot_sim Camelot_wal Hashtbl Protocol Record State Tid

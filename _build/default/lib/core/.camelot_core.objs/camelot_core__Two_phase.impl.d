@@ -1,0 +1,1 @@
+lib/core/two_phase.ml: Camelot_mach Camelot_sim Fiber List Mailbox Protocol Record Site State Tid

@@ -1,0 +1,1 @@
+lib/core/two_phase.mli: Camelot_mach Camelot_sim Protocol State

@@ -1,0 +1,64 @@
+(** Wire messages exchanged between transaction managers.
+
+    TranMans communicate with datagrams (paper footnote 1), so every
+    message is one-way; request/response pairing, timeout/retry and
+    duplicate suppression are the protocols' responsibility. *)
+
+type outcome = Committed | Aborted
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Which commit protocol a prepare belongs to. *)
+type commit_protocol = Two_phase | Nonblocking
+
+val pp_commit_protocol : Format.formatter -> commit_protocol -> unit
+
+(** A subordinate's vote. [Vote_yes] with [read_only = true] means the
+    site wrote nothing for this transaction: it drops its locks
+    immediately and is excluded from all later phases. *)
+type vote = Vote_yes of { read_only : bool } | Vote_no
+
+(** What a site knows about a transaction, for takeover and recovery
+    inquiries. Per presumed abort, [St_unknown] means abort. *)
+type status =
+  | St_unknown
+  | St_active
+  | St_prepared  (** voted yes, waiting for outcome *)
+  | St_replicated  (** non-blocking: holds a replication record *)
+  | St_refused  (** non-blocking: joined an abort quorum *)
+  | St_committed
+  | St_aborted
+
+val pp_status : Format.formatter -> status -> unit
+
+type t =
+  | Prepare of {
+      m_tid : Tid.t;
+      m_coordinator : Camelot_mach.Site.id;
+      m_protocol : commit_protocol;
+      m_sites : Camelot_mach.Site.id list;  (** non-blocking: all participants *)
+      m_commit_quorum : int;  (** non-blocking: replication-quorum size *)
+    }
+  | Vote of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_vote : vote }
+  | Replicate of {
+      m_tid : Tid.t;
+      m_coordinator : Camelot_mach.Site.id;
+      m_sites : Camelot_mach.Site.id list;
+      m_update_sites : Camelot_mach.Site.id list;
+    }
+  | Replicate_ack of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
+  | Outcome of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_outcome : outcome }
+  | Outcome_ack of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
+  | Inquiry of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
+  | Status of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_status : status }
+  | Join_abort_quorum of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
+      (** takeover coordinator asks the site to refuse commitment *)
+  | Refused of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_ok : bool }
+  | Child_finish of { m_tid : Tid.t; m_outcome : outcome }
+      (** nested subtransaction resolution, pushed to every site the
+          child touched *)
+
+(** The transaction the message is about. *)
+val tid : t -> Tid.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type update = {
+  u_tid : Tid.t;
+  u_server : string;
+  u_key : string;
+  u_old : int;
+  u_new : int;
+}
+
+type t =
+  | Update of update
+  | Checkpoint of { ck_values : (string * string * int) list; ck_active : update list }
+  | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
+  | Prepare of {
+      p_tid : Tid.t;
+      p_coordinator : Camelot_mach.Site.id;
+      p_protocol : Protocol.commit_protocol;
+      p_sites : Camelot_mach.Site.id list;
+    }
+  | Commit of { c_tid : Tid.t; c_sites : Camelot_mach.Site.id list }
+  | Abort of { a_tid : Tid.t }
+  | Replication of {
+      r_tid : Tid.t;
+      r_coordinator : Camelot_mach.Site.id;
+      r_sites : Camelot_mach.Site.id list;
+      r_update_sites : Camelot_mach.Site.id list;
+    }
+  | Refusal of { f_tid : Tid.t }
+  | End of { e_tid : Tid.t }
+
+(* checkpoints belong to no transaction; callers filter them out first *)
+let tid = function
+  | Update u -> u.u_tid
+  | Checkpoint _ -> invalid_arg "Record.tid: checkpoint"
+  | Collecting g -> g.g_tid
+  | Prepare p -> p.p_tid
+  | Commit c -> c.c_tid
+  | Abort a -> a.a_tid
+  | Replication r -> r.r_tid
+  | Refusal f -> f.f_tid
+  | End e -> e.e_tid
+
+let pp ppf = function
+  | Checkpoint { ck_values; ck_active } ->
+      Format.fprintf ppf "Checkpoint(%d values, %d in-flight updates)"
+        (List.length ck_values) (List.length ck_active)
+  | Collecting g ->
+      Format.fprintf ppf "Collecting(%a sites=[%s])" Tid.pp g.g_tid
+        (String.concat "," (List.map string_of_int g.g_sites))
+  | Update u ->
+      Format.fprintf ppf "Update(%a %s/%s %d->%d)" Tid.pp u.u_tid u.u_server
+        u.u_key u.u_old u.u_new
+  | Prepare p ->
+      Format.fprintf ppf "Prepare(%a %a coord=%d sites=[%s])" Tid.pp p.p_tid
+        Protocol.pp_commit_protocol p.p_protocol p.p_coordinator
+        (String.concat "," (List.map string_of_int p.p_sites))
+  | Commit c ->
+      Format.fprintf ppf "Commit(%a sites=[%s])" Tid.pp c.c_tid
+        (String.concat "," (List.map string_of_int c.c_sites))
+  | Abort a -> Format.fprintf ppf "Abort(%a)" Tid.pp a.a_tid
+  | Replication r ->
+      Format.fprintf ppf "Replication(%a coord=%d sites=[%s] upd=[%s])" Tid.pp
+        r.r_tid r.r_coordinator
+        (String.concat "," (List.map string_of_int r.r_sites))
+        (String.concat "," (List.map string_of_int r.r_update_sites))
+  | Refusal f -> Format.fprintf ppf "Refusal(%a)" Tid.pp f.f_tid
+  | End e -> Format.fprintf ppf "End(%a)" Tid.pp e.e_tid

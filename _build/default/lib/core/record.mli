@@ -1,0 +1,70 @@
+(** Log records written by the transaction manager and the data servers
+    into the site's common write-ahead log.
+
+    The protocol-visible write/force discipline is the heart of the
+    paper's §3.2 optimization: which records are {e forced} (a
+    synchronous disk write on the critical path) versus {e spooled}
+    (written lazily by a later force or the background flusher)
+    determines both latency and logging throughput. The discipline, per
+    record:
+
+    - [Update]: spooled when the operation executes ("as late as
+      possible"); made durable by the first force that follows;
+    - [Prepare]: forced at a subordinate before voting yes;
+    - [Commit] at the coordinator: forced — this is the commit point;
+    - [Commit] at a subordinate: forced in the unoptimized protocol,
+      spooled in the optimized protocol of §3.2;
+    - [Collecting]: forced by a presumed-commit coordinator before
+      voting begins;
+    - [Abort]: never forced under presumed abort; forced (and
+      acknowledged) under presumed commit;
+    - [Replication]: forced — the non-blocking protocol's quorum
+      information (§3.3);
+    - [Refusal]: forced — the site has joined an abort quorum and
+      promises never to join a commit quorum for this transaction;
+    - [End]: spooled when the coordinator has collected all commit
+      acknowledgements and may forget the transaction. *)
+
+type update = {
+  u_tid : Tid.t;
+  u_server : string;
+  u_key : string;
+  u_old : int;
+  u_new : int;
+}
+
+type t =
+  | Update of update
+  | Checkpoint of { ck_values : (string * string * int) list; ck_active : update list }
+      (** a forced snapshot: committed [(server, key, value)] triples
+          plus the updates of transactions still in flight at snapshot
+          time, so value recovery replays from here instead of from the
+          beginning of the log (and in-doubt transactions keep their
+          undo information across the checkpoint) *)
+  | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
+      (** presumed commit only: forced by the coordinator before any
+          prepare message, so a recovering coordinator knows the
+          transaction was in progress (and must be aborted and
+          remembered) rather than committed-and-forgotten *)
+  | Prepare of {
+      p_tid : Tid.t;
+      p_coordinator : Camelot_mach.Site.id;
+      p_protocol : Protocol.commit_protocol;
+      p_sites : Camelot_mach.Site.id list;  (** non-blocking: full site list *)
+    }
+  | Commit of { c_tid : Tid.t; c_sites : Camelot_mach.Site.id list }
+  | Abort of { a_tid : Tid.t }
+  | Replication of {
+      r_tid : Tid.t;
+      r_coordinator : Camelot_mach.Site.id;
+      r_sites : Camelot_mach.Site.id list;
+      r_update_sites : Camelot_mach.Site.id list;
+    }
+  | Refusal of { f_tid : Tid.t }
+  | End of { e_tid : Tid.t }
+
+(** The transaction a record belongs to.
+    @raise Invalid_argument on [Checkpoint], which belongs to none. *)
+val tid : t -> Tid.t
+
+val pp : Format.formatter -> t -> unit

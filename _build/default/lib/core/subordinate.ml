@@ -1,0 +1,433 @@
+(* Subordinate-side handling of commit-protocol messages, shared by the
+   two-phase (§3.2) and non-blocking (§3.3) protocols: voting on a
+   prepare, writing replication records, applying outcomes under the
+   three write-variants, answering status inquiries, and the
+   timeout-driven escape hatches (inquiry loop for 2PC, takeover hook
+   for non-blocking). *)
+
+open Camelot_sim
+open Camelot_mach
+open State
+
+(* --------------------------------------------------------------- *)
+(* Applying a decided outcome at a subordinate *)
+
+(* Commit locally under the configured §4.2 variant. Returns once the
+   subordinate's part of the completion path is done; ack traffic and
+   lazy log writes continue in background fibers. *)
+let apply_commit st fam ~ack_to =
+  let tid = fam.f_root in
+  let coordinator = ack_to in
+  let ack () =
+    Protocol.Outcome_ack { m_tid = tid; m_from = me st }
+  in
+  resolve_family st fam Protocol.Committed;
+  if
+    fam.f_protocol = Protocol.Two_phase
+    && st.config.presumption = Presume_commit
+  then begin
+    (* presumed commit: no acknowledgement exists; the commit record
+       need never be forced (an inquiry to a forgotten coordinator
+       presumes commit anyway) *)
+    drop_local_locks st fam;
+    ignore (log_append st (Record.Commit { c_tid = tid; c_sites = [] }) : int)
+  end
+  else
+  match st.config.two_phase_variant with
+  | Optimized ->
+      (* locks drop immediately; the commit record is spooled and the
+         ack waits until some later force or the flusher lands it *)
+      drop_local_locks st fam;
+      let lsn = log_append st (Record.Commit { c_tid = tid; c_sites = [] }) in
+      Site.spawn st.site ~name:"commit-ack" (fun () ->
+          Camelot_wal.Log.wait_durable st.log lsn;
+          send_piggybacked st ~dst:coordinator (ack ()))
+  | Semi_optimized ->
+      ignore (log_append_force st (Record.Commit { c_tid = tid; c_sites = [] }) : int);
+      drop_local_locks st fam;
+      Site.spawn st.site ~name:"commit-ack" (fun () ->
+          Fiber.sleep st.config.piggyback_delay_ms;
+          send_piggybacked st ~dst:coordinator (ack ()))
+  | Unoptimized ->
+      ignore (log_append_force st (Record.Commit { c_tid = tid; c_sites = [] }) : int);
+      drop_local_locks st fam;
+      send st ~dst:coordinator (ack ())
+
+let apply_abort st fam =
+  resolve_family st fam Protocol.Aborted;
+  if
+    fam.f_protocol = Protocol.Two_phase
+    && st.config.presumption = Presume_commit
+    && fam.f_prepared
+  then begin
+    (* presumed commit: the abort must survive a crash (a lost abort
+       record would later be presumed committed) and must be
+       acknowledged so the coordinator may forget *)
+    ignore (log_append_force st (Record.Abort { a_tid = fam.f_root }) : int);
+    send st ~dst:(Tid.origin fam.f_root)
+      (Protocol.Outcome_ack { m_tid = fam.f_root; m_from = me st })
+  end
+  else ignore (log_append st (Record.Abort { a_tid = fam.f_root }) : int);
+  abort_local st fam
+
+let apply_outcome st fam outcome ~ack_to =
+  match outcome with
+  | Protocol.Committed -> apply_commit st fam ~ack_to
+  | Protocol.Aborted -> apply_abort st fam
+
+(* --------------------------------------------------------------- *)
+(* Waiting for the coordinator *)
+
+(* 2PC window of vulnerability: a prepared subordinate that stops
+   hearing from its coordinator stays blocked, periodically asking what
+   happened. Presumed abort resolves an "unknown" answer to abort. *)
+let start_inquiry_watchdog st fam =
+  if not fam.f_watchdog then begin
+    fam.f_watchdog <- true;
+    let tid = fam.f_root in
+    Site.spawn st.site ~name:"2pc-inquiry" (fun () ->
+        let rec loop () =
+          Fiber.sleep st.config.subordinate_timeout_ms;
+          if fam.f_outcome = None then begin
+            st.stats.n_inquiries <- st.stats.n_inquiries + 1;
+            tracef st "2pc" "%a blocked; inquiring coordinator %d" Tid.pp tid
+              (Tid.origin tid);
+            send st ~dst:(Tid.origin tid)
+              (Protocol.Inquiry { m_tid = tid; m_from = me st });
+            loop ()
+          end
+        in
+        loop ())
+  end
+
+(* A subordinate family that was joined by a server but never reached
+   the prepare phase may be an orphan: its client or coordinator died
+   before commitment started, and its locks would be held forever. The
+   abort-protocol rule of §2 applies: inquire, and let presumed abort
+   free the site. *)
+let start_orphan_watchdog st fam =
+  if not fam.f_orphan_watch then begin
+    fam.f_orphan_watch <- true;
+    let tid = fam.f_root in
+    Site.spawn st.site ~name:"orphan-watch" (fun () ->
+        let rec loop () =
+          Fiber.sleep st.config.orphan_timeout_ms;
+          if fam.f_outcome = None && (not fam.f_prepared) && not fam.f_read_only_done
+          then begin
+            st.stats.n_inquiries <- st.stats.n_inquiries + 1;
+            tracef st "orphan" "%a: inactive; inquiring coordinator %d" Tid.pp
+              tid (Tid.origin tid);
+            send st ~dst:(Tid.origin tid)
+              (Protocol.Inquiry { m_tid = tid; m_from = me st });
+            loop ()
+          end
+        in
+        loop ())
+  end
+
+(* Non-blocking: silence makes the subordinate a coordinator (change 2
+   of §3.3). The takeover itself lives in [Nonblocking]; the dispatcher
+   passes it in to avoid a module cycle. *)
+let start_takeover_watchdog st fam ~takeover =
+  if not fam.f_watchdog then begin
+    fam.f_watchdog <- true;
+    Site.spawn st.site ~name:"nb-takeover" (fun () ->
+        Fiber.sleep st.config.subordinate_timeout_ms;
+        if fam.f_outcome = None then begin
+          st.stats.n_takeovers <- st.stats.n_takeovers + 1;
+          tracef st "nb" "%a timed out; becoming coordinator" Tid.pp fam.f_root;
+          takeover st fam
+        end)
+  end
+
+(* --------------------------------------------------------------- *)
+(* Message handlers (run on TranMan pool threads) *)
+
+(* Prepare: ask the local servers to vote; on yes, force a prepare
+   record and answer — unless everything here was read-only, in which
+   case the site votes yes-read-only, drops its locks and forgets
+   (§4.2's read-only optimization). *)
+let handle_prepare st msg ~takeover =
+  match msg with
+  | Protocol.Prepare { m_tid; m_coordinator; m_protocol; m_sites; m_commit_quorum }
+    -> (
+      let fam = find_or_join_family st m_tid in
+      fam.f_protocol <- m_protocol;
+      fam.f_sites <- m_sites;
+      fam.f_commit_quorum <- m_commit_quorum;
+      match fam.f_outcome with
+      | Some Protocol.Committed ->
+          (* duplicate prepare after commit: coordinator must have our
+             vote already; resend harmless status *)
+          send st ~dst:m_coordinator
+            (Protocol.Status
+               { m_tid; m_from = me st; m_status = Protocol.St_committed })
+      | Some Protocol.Aborted ->
+          send st ~dst:m_coordinator
+            (Protocol.Vote { m_tid; m_from = me st; m_vote = Protocol.Vote_no })
+      | None ->
+          if fam.f_read_only_done then
+            (* duplicate prepare after a read-only vote: revote *)
+            send st ~dst:m_coordinator
+              (Protocol.Vote
+                 {
+                   m_tid;
+                   m_from = me st;
+                   m_vote = Protocol.Vote_yes { read_only = true };
+                 })
+          else if fam.f_prepared then
+            (* duplicate prepare while prepared: just revote yes *)
+            send st ~dst:m_coordinator
+              (Protocol.Vote
+                 {
+                   m_tid;
+                   m_from = me st;
+                   m_vote = Protocol.Vote_yes { read_only = false };
+                 })
+          else if unresolved_children fam <> [] then begin
+            apply_abort st fam;
+            send st ~dst:m_coordinator
+              (Protocol.Vote { m_tid; m_from = me st; m_vote = Protocol.Vote_no })
+          end
+          else begin
+            match vote_local_servers st fam with
+            | Protocol.Vote_no ->
+                apply_abort st fam;
+                send st ~dst:m_coordinator
+                  (Protocol.Vote
+                     { m_tid; m_from = me st; m_vote = Protocol.Vote_no })
+            | Protocol.Vote_yes { read_only = true }
+              when st.config.read_only_optimization ->
+                (* nothing at stake: answer, drop locks, forget. No
+                   outcome is claimed — a later inquiry gets
+                   "unknown" — but the site can still be drafted into
+                   a non-blocking quorum. *)
+                fam.f_read_only_done <- true;
+                drop_local_locks st fam;
+                send st ~dst:m_coordinator
+                  (Protocol.Vote
+                     {
+                       m_tid;
+                       m_from = me st;
+                       m_vote = Protocol.Vote_yes { read_only = true };
+                     })
+            | Protocol.Vote_yes { read_only = _ } ->
+                ignore
+                  (log_append_force st
+                     (Record.Prepare
+                        {
+                          p_tid = m_tid;
+                          p_coordinator = m_coordinator;
+                          p_protocol = m_protocol;
+                          p_sites = m_sites;
+                        })
+                    : int);
+                fam.f_prepared <- true;
+                send st ~dst:m_coordinator
+                  (Protocol.Vote
+                     {
+                       m_tid;
+                       m_from = me st;
+                       m_vote = Protocol.Vote_yes { read_only = false };
+                     });
+                (match m_protocol with
+                | Protocol.Two_phase -> start_inquiry_watchdog st fam
+                | Protocol.Nonblocking -> start_takeover_watchdog st fam ~takeover)
+          end)
+  | _ -> invalid_arg "Subordinate.handle_prepare"
+
+(* Replication phase (non-blocking only): persist the coordinator's
+   decision data, thereby joining the commit quorum — unless this site
+   already joined an abort quorum (change 4: never both). *)
+let handle_replicate st msg =
+  match msg with
+  | Protocol.Replicate { m_tid; m_coordinator; m_sites; m_update_sites } -> (
+      match find_family st m_tid with
+      | None ->
+          (* never prepared here (or long forgotten): presumed abort *)
+          ()
+      | Some fam -> (
+          match (fam.f_outcome, fam.f_quorum_side) with
+          | Some Protocol.Committed, _ | None, Q_commit ->
+              (* duplicate: re-ack *)
+              send st ~dst:m_coordinator
+                (Protocol.Replicate_ack { m_tid; m_from = me st })
+          | Some Protocol.Aborted, _ ->
+              (* a takeover aborted this transaction while the
+                 replicating coordinator was unreachable: tell it, so
+                 its replication loop adopts the outcome instead of
+                 retrying forever *)
+              send st ~dst:m_coordinator
+                (Protocol.Outcome
+                   { m_tid; m_from = me st; m_outcome = Protocol.Aborted })
+          | None, Q_abort -> ()
+          | None, Q_none ->
+              (* prepared update subordinates join the commit quorum;
+                 so do read-only ones the coordinator drafted to reach
+                 quorum size ("often need not participate" — but may) *)
+              if fam.f_prepared || fam.f_read_only_done then begin
+                ignore
+                  (log_append_force st
+                     (Record.Replication
+                        {
+                          r_tid = m_tid;
+                          r_coordinator = m_coordinator;
+                          r_sites = m_sites;
+                          r_update_sites = m_update_sites;
+                        })
+                    : int);
+                fam.f_quorum_side <- Q_commit;
+                fam.f_update_sites <- m_update_sites;
+                send st ~dst:m_coordinator
+                  (Protocol.Replicate_ack { m_tid; m_from = me st })
+              end))
+  | _ -> invalid_arg "Subordinate.handle_replicate"
+
+(* Outcome notice. Idempotent: duplicates re-ack commits (the
+   coordinator keeps retransmitting until acked) and ignore aborts. *)
+let handle_outcome st msg =
+  match msg with
+  | Protocol.Outcome { m_tid; m_from; m_outcome } -> (
+      match find_family st m_tid with
+      | None ->
+          (* forgotten or never seen; ack whichever outcome carries the
+             acknowledgement duty under the current presumption, so the
+             coordinator can forget too *)
+          let needs_ack =
+            match (st.config.presumption, m_outcome) with
+            | Presume_abort, Protocol.Committed
+            | Presume_commit, Protocol.Aborted ->
+                true
+            | Presume_abort, Protocol.Aborted
+            | Presume_commit, Protocol.Committed ->
+                false
+          in
+          if needs_ack then
+            send_piggybacked st ~dst:m_from
+              (Protocol.Outcome_ack { m_tid; m_from = me st })
+      | Some fam -> (
+          match fam.f_outcome with
+          | None -> apply_outcome st fam m_outcome ~ack_to:m_from
+          | Some Protocol.Committed when m_outcome = Protocol.Committed ->
+              if st.config.presumption = Presume_abort then
+                send_piggybacked st ~dst:m_from
+                  (Protocol.Outcome_ack { m_tid; m_from = me st })
+          | Some Protocol.Aborted when m_outcome = Protocol.Aborted ->
+              if st.config.presumption = Presume_commit then
+                send_piggybacked st ~dst:m_from
+                  (Protocol.Outcome_ack { m_tid; m_from = me st })
+          | Some prior ->
+              if prior <> m_outcome then begin
+                (* a heuristic decision went the wrong way: record the
+                   damage for the operator (LU 6.2 semantics: heuristic
+                   resolution "does not guarantee correctness") *)
+                st.stats.n_heuristic_damage <- st.stats.n_heuristic_damage + 1;
+                tracef st "ERROR" "%a: conflicting outcomes %a vs %a" Tid.pp
+                  m_tid Protocol.pp_outcome prior Protocol.pp_outcome m_outcome
+              end))
+  | _ -> invalid_arg "Subordinate.handle_outcome"
+
+(* Status inquiry: answer from the descriptor (or its absence —
+   presumed abort makes [St_unknown] decisive for 2PC). *)
+let handle_inquiry st msg =
+  match msg with
+  | Protocol.Inquiry { m_tid; m_from } ->
+      let status = status_of_family st m_tid in
+      send st ~dst:m_from (Protocol.Status { m_tid; m_from = me st; m_status = status })
+  | _ -> invalid_arg "Subordinate.handle_inquiry"
+
+(* A takeover coordinator asks this site to join the abort quorum: the
+   site must refuse commitment forever — unless it is already on the
+   commit side. Force a refusal record before promising (it must
+   survive a crash). *)
+let handle_join_abort_quorum st msg =
+  match msg with
+  | Protocol.Join_abort_quorum { m_tid; m_from } -> (
+      let reply ok =
+        send st ~dst:m_from (Protocol.Refused { m_tid; m_from = me st; m_ok = ok })
+      in
+      match find_family st m_tid with
+      | None ->
+          (* never heard of it: safe to promise never to commit it *)
+          let fam = find_or_join_family st m_tid in
+          ignore (log_append_force st (Record.Refusal { f_tid = m_tid }) : int);
+          fam.f_quorum_side <- Q_abort;
+          reply true
+      | Some fam -> (
+          match (fam.f_outcome, fam.f_quorum_side) with
+          | Some Protocol.Committed, _ | None, Q_commit -> reply false
+          | Some Protocol.Aborted, _ | None, Q_abort -> reply true
+          | None, Q_none ->
+              ignore (log_append_force st (Record.Refusal { f_tid = m_tid }) : int);
+              fam.f_quorum_side <- Q_abort;
+              reply true))
+  | _ -> invalid_arg "Subordinate.handle_join_abort_quorum"
+
+(* Nested subtransaction resolution pushed from the site where the
+   child ran: transfer or undo its effects at every local server. *)
+let handle_child_finish st msg =
+  match msg with
+  | Protocol.Child_finish { m_tid; m_outcome } -> (
+      match find_family st m_tid with
+      | None -> ()
+      | Some fam -> (
+          let m = member st fam m_tid in
+          match m.mem_resolved with
+          | Some _ -> ()
+          | None ->
+              m.mem_resolved <- Some m_outcome;
+              List.iter
+                (fun name ->
+                  match server_callbacks st name with
+                  | None -> ()
+                  | Some cb -> (
+                      match m_outcome with
+                      | Protocol.Committed -> cb.sv_subcommit m_tid
+                      | Protocol.Aborted -> cb.sv_abort m_tid))
+                fam.f_servers))
+  | _ -> invalid_arg "Subordinate.handle_child_finish"
+
+(* A status reply arriving outside any takeover collection: a blocked
+   subordinate learns its fate. A committed/aborted answer is decisive
+   from anyone; [St_unknown] is decisive only under two-phase commit's
+   presumed abort, and only from the coordinator itself (a non-blocking
+   peer that never prepared knows nothing). *)
+let handle_status st msg =
+  match msg with
+  | Protocol.Status { m_tid; m_from; m_status } -> (
+      match find_family st m_tid with
+      | None -> ()
+      | Some fam ->
+          if fam.f_outcome = None && fam.f_prepared then begin
+            match m_status with
+            | Protocol.St_committed ->
+                apply_outcome st fam Protocol.Committed ~ack_to:m_from
+            | Protocol.St_aborted ->
+                apply_outcome st fam Protocol.Aborted ~ack_to:m_from
+            | Protocol.St_unknown ->
+                if
+                  fam.f_protocol = Protocol.Two_phase
+                  && m_from = Tid.origin m_tid
+                then
+                  apply_outcome st fam
+                    (match st.config.presumption with
+                    | Presume_abort -> Protocol.Aborted
+                    | Presume_commit -> Protocol.Committed)
+                    ~ack_to:m_from
+            | Protocol.St_active | Protocol.St_prepared | Protocol.St_replicated
+            | Protocol.St_refused ->
+                ()
+          end
+          else if fam.f_outcome = None && not fam.f_prepared then begin
+            (* an orphan inquiry came back: abort is safe while
+               unprepared (we never voted), and an unknowing or aborted
+               coordinator means the transaction is dead *)
+            match m_status with
+            | Protocol.St_aborted -> apply_abort st fam
+            | Protocol.St_unknown when m_from = Tid.origin m_tid ->
+                apply_abort st fam
+            | Protocol.St_unknown | Protocol.St_committed | Protocol.St_active
+            | Protocol.St_prepared | Protocol.St_replicated | Protocol.St_refused ->
+                ()
+          end)
+  | _ -> invalid_arg "Subordinate.handle_status"

@@ -1,0 +1,49 @@
+(** Subordinate-side handling of commit-protocol messages, shared by
+    the two-phase and non-blocking protocols (internal; messages reach
+    these handlers through {!Tranman}'s dispatcher, on worker
+    threads). *)
+
+(** Apply a commit at this site under the configured §4.2 write
+    variant; the commit-ack goes to [ack_to] (the original or a
+    takeover coordinator). *)
+val apply_commit : State.t -> State.family -> ack_to:Camelot_mach.Site.id -> unit
+
+(** Undo the family locally; the abort record is lazy (presumed
+    abort). *)
+val apply_abort : State.t -> State.family -> unit
+
+val apply_outcome :
+  State.t -> State.family -> Protocol.outcome -> ack_to:Camelot_mach.Site.id -> unit
+
+(** 2PC window of vulnerability: periodically ask the coordinator for
+    the outcome while blocked. *)
+val start_inquiry_watchdog : State.t -> State.family -> unit
+
+(** Orphan detection (the §2 abort-protocol rule): a subordinate family
+    joined by a server but never prepared inquires after a long
+    inactivity timeout; presumed abort then frees its locks if the
+    client or coordinator died. *)
+val start_orphan_watchdog : State.t -> State.family -> unit
+
+(** Non-blocking: become a coordinator after the configured silence
+    ([takeover] is {!Nonblocking.takeover}, passed in by the dispatcher
+    to avoid a module cycle). *)
+val start_takeover_watchdog :
+  State.t -> State.family -> takeover:(State.t -> State.family -> unit) -> unit
+
+(** {1 Message handlers} — each takes the raw message and raises
+    [Invalid_argument] on a constructor it does not own. *)
+
+val handle_prepare :
+  State.t -> Protocol.t -> takeover:(State.t -> State.family -> unit) -> unit
+
+val handle_replicate : State.t -> Protocol.t -> unit
+val handle_outcome : State.t -> Protocol.t -> unit
+val handle_inquiry : State.t -> Protocol.t -> unit
+val handle_join_abort_quorum : State.t -> Protocol.t -> unit
+val handle_child_finish : State.t -> Protocol.t -> unit
+
+(** A status reply arriving outside any takeover collection resolves a
+    blocked subordinate (decisive answers from anyone; "unknown" only
+    from the coordinator under presumed abort). *)
+val handle_status : State.t -> Protocol.t -> unit

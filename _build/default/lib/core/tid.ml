@@ -1,0 +1,48 @@
+type t = { origin : Camelot_mach.Site.id; seq : int; path : int list }
+
+let compare a b =
+  match Stdlib.compare (a.origin, a.seq) (b.origin, b.seq) with
+  | 0 -> Stdlib.compare a.path b.path
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let root ~origin ~seq = { origin; seq; path = [] }
+
+let child t ~n =
+  if n < 0 then invalid_arg "Tid.child: negative index";
+  { t with path = t.path @ [ n ] }
+
+let parent t =
+  match t.path with
+  | [] -> None
+  | path -> (
+      match List.rev path with
+      | [] -> None
+      | _ :: rev_prefix -> Some { t with path = List.rev rev_prefix })
+
+let top t = { t with path = [] }
+
+let is_top t = t.path = []
+
+let depth t = List.length t.path
+
+let origin t = t.origin
+
+let family t = (t.origin, t.seq)
+
+let rec is_prefix prefix path =
+  match (prefix, path) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | a :: prefix', b :: path' -> a = b && is_prefix prefix' path'
+
+let same_family a b = a.origin = b.origin && a.seq = b.seq
+
+let is_ancestor a b = same_family a b && is_prefix a.path b.path
+
+let to_string t =
+  let base = Printf.sprintf "T%d.%d" t.origin t.seq in
+  List.fold_left (fun acc n -> acc ^ "/" ^ string_of_int n) base t.path
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,405 @@
+open Camelot_sim
+open Camelot_mach
+open State
+
+type t = State.t
+
+exception Unknown_transaction of Tid.t
+
+(* ---------------------------------------------------------------- *)
+(* Dispatch *)
+
+(* The endpoint handler runs as a raw engine event and must not block:
+   protocol responses are demultiplexed straight into the waiting
+   coordinator's mailbox (the CornMan-style forwarding role), while
+   requests that do real work — and may force the log — are handed to
+   the worker pool. *)
+let dispatch st msg =
+  tracef st "recv" "%a" Protocol.pp msg;
+  let tid = Protocol.tid msg in
+  let to_pool handler =
+    Thread_pool.submit (pool st) (fun () ->
+        charge_cpu st;
+        handler st msg)
+  in
+  let to_waiter () =
+    match waiter st tid with
+    | Some mb -> Mailbox.send mb msg
+    | None -> ()
+  in
+  match msg with
+  | Protocol.Vote _ | Protocol.Replicate_ack _ | Protocol.Refused _ -> to_waiter ()
+  | Protocol.Status _ -> (
+      match waiter st tid with
+      | Some mb -> Mailbox.send mb msg
+      | None -> to_pool Subordinate.handle_status)
+  | Protocol.Outcome_ack { m_from; _ } -> (
+      match find_family st tid with
+      | None -> ()
+      | Some fam -> Two_phase.note_outcome_ack st fam ~from:m_from)
+  | Protocol.Prepare _ ->
+      to_pool (fun st msg ->
+          Subordinate.handle_prepare st msg ~takeover:Nonblocking.takeover)
+  | Protocol.Replicate _ -> to_pool Subordinate.handle_replicate
+  | Protocol.Outcome _ -> to_pool Subordinate.handle_outcome
+  | Protocol.Inquiry _ -> to_pool Subordinate.handle_inquiry
+  | Protocol.Join_abort_quorum _ -> to_pool Subordinate.handle_join_abort_quorum
+  | Protocol.Child_finish _ -> to_pool Subordinate.handle_child_finish
+
+(* ---------------------------------------------------------------- *)
+(* Construction *)
+
+let start st =
+  st.pool <- Some (Thread_pool.create st.site ~threads:st.config.threads);
+  match st.endpoint with
+  | Some ep -> Camelot_net.Lan.set_handler ep (dispatch st)
+  | None ->
+      let ep = Camelot_net.Lan.endpoint st.lan st.site (dispatch st) in
+      st.endpoint <- Some ep;
+      Hashtbl.replace st.directory (Site.id st.site) ep
+
+let create site ~lan ~log ~directory ~config =
+  let st =
+    {
+      site;
+      lan;
+      log;
+      config;
+      directory;
+      endpoint = None;
+      pool = None;
+      families = Hashtbl.create 64;
+      families_mutex = Sync.Mutex.create ();
+      servers = Hashtbl.create 8;
+      next_seq = 0;
+      waiters = Hashtbl.create 16;
+      stats =
+        {
+          n_begun = 0;
+          n_committed = 0;
+          n_aborted = 0;
+          n_distributed = 0;
+          n_takeovers = 0;
+          n_inquiries = 0;
+          n_heuristic = 0;
+          n_heuristic_damage = 0;
+        };
+      trace = Trace.create ();
+    }
+  in
+  start st;
+  st
+
+let restart st =
+  (* volatile state of the old incarnation is gone *)
+  Hashtbl.reset st.families;
+  Hashtbl.reset st.waiters;
+  Hashtbl.reset st.servers;
+  start st
+
+let site st = st.site
+let config st = st.config
+let stats st = st.stats
+let trace st = st.trace
+
+(* ---------------------------------------------------------------- *)
+(* TranMan requests: each is one IPC to the TranMan process and is
+   served by a worker thread (the Figures 4/5 contention point). *)
+
+(* Run a request on a worker thread and wait for the reply; exceptions
+   (e.g. Unknown_transaction) travel back to the caller. *)
+let on_pool st job =
+  Rpc.local_ipc st.site;
+  let reply = Mailbox.create (engine st) in
+  Thread_pool.submit (pool st) (fun () ->
+      charge_cpu st;
+      let r = match job () with v -> Ok v | exception e -> Error e in
+      Mailbox.send reply r);
+  match Mailbox.recv reply with Ok v -> v | Error e -> raise e
+
+let require_family st tid =
+  match find_family st tid with
+  | Some fam -> fam
+  | None -> raise (Unknown_transaction tid)
+
+let begin_transaction st =
+  on_pool st (fun () ->
+      let seq = st.next_seq in
+      st.next_seq <- seq + 1;
+      st.stats.n_begun <- st.stats.n_begun + 1;
+      let tid = Tid.root ~origin:(me st) ~seq in
+      ignore (new_family st ~root:tid ~role:Coordinator ~protocol:Protocol.Two_phase
+              : family);
+      tracef st "txn" "begin %a" Tid.pp tid;
+      tid)
+
+let begin_nested st ~parent =
+  on_pool st (fun () ->
+      let fam = require_family st parent in
+      let pm = member st fam parent in
+      let n = (Site.id st.site * 4096) + pm.mem_children in
+      pm.mem_children <- pm.mem_children + 1;
+      let tid = Tid.child parent ~n in
+      ignore (member st fam tid : member);
+      tracef st "txn" "begin nested %a" Tid.pp tid;
+      tid)
+
+(* Resolve a subtransaction: apply at local servers, push to the
+   family's other sites (best effort; they also learn at prepare). *)
+let finish_nested st fam tid outcome =
+  let m = member st fam tid in
+  if m.mem_resolved = None then begin
+    m.mem_resolved <- Some outcome;
+    List.iter
+      (fun name ->
+        match server_callbacks st name with
+        | None -> ()
+        | Some cb -> (
+            Rpc.oneway_ipc st.site;
+            match outcome with
+            | Protocol.Committed -> cb.sv_subcommit tid
+            | Protocol.Aborted -> cb.sv_abort tid))
+      fam.f_servers;
+    fan_out st ~dsts:fam.f_remote_sites
+      (Protocol.Child_finish { m_tid = tid; m_outcome = outcome })
+  end
+
+let abort_unresolved_children st fam =
+  (* deepest first, so a child's records retag before its parent's *)
+  let pending = unresolved_children fam in
+  let deepest_first =
+    List.sort (fun a b -> Stdlib.compare (Tid.depth b) (Tid.depth a)) pending
+  in
+  List.iter (fun tid -> finish_nested st fam tid Protocol.Aborted) deepest_first
+
+let commit st ?(protocol = Protocol.Two_phase) tid =
+  if Tid.is_top tid then
+    on_pool st (fun () ->
+        let fam = require_family st tid in
+        match fam.f_outcome with
+        | Some o -> o
+        | None ->
+            abort_unresolved_children st fam;
+            fam.f_protocol <- protocol;
+            (match protocol with
+            | Protocol.Two_phase -> Two_phase.coordinate st fam
+            | Protocol.Nonblocking -> Nonblocking.coordinate st fam))
+  else
+    on_pool st (fun () ->
+        let fam = require_family st tid in
+        (* a subtransaction's own unresolved children abort with it
+           committing: they never committed into it *)
+        List.iter
+          (fun child ->
+            if Tid.is_ancestor tid child && not (Tid.equal tid child) then
+              finish_nested st fam child Protocol.Aborted)
+          (unresolved_children fam);
+        finish_nested st fam tid Protocol.Committed;
+        Protocol.Committed)
+
+let abort st tid =
+  ignore
+    (on_pool st (fun () ->
+         match find_family st tid with
+         | None -> ()
+         | Some fam ->
+             if Tid.is_top tid then begin
+               if fam.f_outcome = None then begin
+                 abort_unresolved_children st fam;
+                 ignore
+                   (Two_phase.abort_distributed st fam ~subs:fam.f_remote_sites
+                     : Protocol.outcome)
+               end
+             end
+             else begin
+               List.iter
+                 (fun child ->
+                   if Tid.is_ancestor tid child && not (Tid.equal tid child) then
+                     finish_nested st fam child Protocol.Aborted)
+                 (unresolved_children fam);
+               finish_nested st fam tid Protocol.Aborted
+             end)
+      : unit)
+
+let outcome st tid =
+  match find_family st tid with None -> None | Some fam -> fam.f_outcome
+
+(* Garbage-collect the descriptor of a finished transaction (after its
+   End record, a real system reclaims the memory; the simulator keeps
+   tombstones for convenient inspection unless told otherwise). After
+   this, inquiries answer "unknown" — which is where the presumption
+   earns its name. *)
+let forget st tid =
+  match find_family st tid with
+  | None -> ()
+  | Some fam ->
+      if fam.f_outcome <> None then
+        Sync.Mutex.with_lock st.families_mutex (fun () ->
+            Hashtbl.remove st.families (family_key tid))
+
+(* LU 6.2-style heuristic commit (paper §5): an operator resolves a
+   blocked transaction by decree. Correctness is not guaranteed — if
+   the real outcome later turns out to differ, the damage is counted in
+   [stats.n_heuristic_damage] — but the locks are freed now. *)
+let heuristic_resolve st tid outcome =
+  on_pool st (fun () ->
+      let fam = require_family st tid in
+      match fam.f_outcome with
+      | Some prior -> prior
+      | None ->
+          st.stats.n_heuristic <- st.stats.n_heuristic + 1;
+          tracef st "heuristic" "%a resolved %a by operator" Tid.pp tid
+            Protocol.pp_outcome outcome;
+          (match outcome with
+          | Protocol.Committed ->
+              Subordinate.apply_commit st fam ~ack_to:(Tid.origin tid)
+          | Protocol.Aborted -> Subordinate.apply_abort st fam);
+          outcome)
+
+(* ---------------------------------------------------------------- *)
+(* Hooks *)
+
+let register_server st cb = Hashtbl.replace st.servers cb.sv_name cb
+
+let join st tid ~server =
+  ignore
+    (on_pool st (fun () ->
+         let fam = find_or_join_family st tid in
+         ignore (member st fam tid : member);
+         if not (List.mem server fam.f_servers) then
+           fam.f_servers <- server :: fam.f_servers;
+         if fam.f_role = Subordinate then Subordinate.start_orphan_watchdog st fam;
+         tracef st "txn" "%a joined by server %s" Tid.pp tid server)
+      : unit)
+
+let note_sites st tid sites =
+  match find_family st tid with
+  | None -> ()
+  | Some fam ->
+      List.iter
+        (fun s ->
+          if s <> me st && not (List.mem s fam.f_remote_sites) then
+            fam.f_remote_sites <- s :: fam.f_remote_sites)
+        sites
+
+let status st tid = status_of_family st tid
+
+(* ---------------------------------------------------------------- *)
+(* Recovery: called by the recovery process after servers re-register.
+   Volatile descriptors are rebuilt from the durable log; transactions
+   that were prepared but undecided re-enter the blocked state and
+   resolve through the normal inquiry/takeover machinery. *)
+
+let recover st =
+  let records = Camelot_wal.Log.durable_records st.log in
+  (* last-writer-wins reconstruction of per-family protocol state *)
+  let replay (fam : family) = function
+    | Record.Checkpoint _ -> ()
+    | Record.Update { u_server; _ } ->
+        (* re-associate the server so a later resolution reaches it
+           (drop-locks, undo) — the volatile join list died in the
+           crash *)
+        if not (List.mem u_server fam.f_servers) then
+          fam.f_servers <- u_server :: fam.f_servers
+    | Record.Collecting { g_sites; _ } ->
+        (* presumed commit: voting had begun; without a later outcome
+           record this transaction must be aborted and remembered *)
+        fam.f_prepared <- true;
+        fam.f_sites <- g_sites
+    | Record.Prepare { p_protocol; p_sites; _ } ->
+        fam.f_prepared <- true;
+        fam.f_protocol <- p_protocol;
+        if p_sites <> [] then fam.f_sites <- p_sites
+    | Record.Replication { r_sites; r_update_sites; _ } ->
+        fam.f_quorum_side <- Q_commit;
+        fam.f_sites <- r_sites;
+        fam.f_update_sites <- r_update_sites
+    | Record.Commit { c_sites; _ } ->
+        fam.f_outcome <- Some Protocol.Committed;
+        fam.f_update_sites <- c_sites
+    | Record.Abort _ -> fam.f_outcome <- Some Protocol.Aborted
+    | Record.Refusal _ -> fam.f_quorum_side <- Q_abort
+    | Record.End _ -> fam.f_acks_pending <- []
+  in
+  let ends = Hashtbl.create 16 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Record.End { e_tid } -> Hashtbl.replace ends (Tid.family e_tid) ()
+      | _ -> ())
+    records;
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Record.Checkpoint { ck_active; _ } ->
+          (* in-flight updates snapshotted at checkpoint time carry the
+             same server associations as live update records *)
+          List.iter
+            (fun (u : Record.update) ->
+              let fam = find_or_join_family st u.Record.u_tid in
+              if not (List.mem u.Record.u_server fam.f_servers) then
+                fam.f_servers <- u.Record.u_server :: fam.f_servers)
+            ck_active
+      | r ->
+          let tid = Record.tid r in
+          let fam = find_or_join_family st tid in
+          replay fam r)
+    records;
+  let in_doubt = ref [] in
+  Hashtbl.iter
+    (fun key fam ->
+      match fam.f_outcome with
+      | Some Protocol.Committed
+        when st.config.presumption = Presume_abort
+             && fam.f_role = Coordinator
+             && (not (Hashtbl.mem ends key))
+             && fam.f_update_sites <> [] ->
+          (* decided but not fully acknowledged: resume notification *)
+          let subs = List.filter (fun s -> s <> me st) fam.f_update_sites in
+          if subs <> [] then Two_phase.start_notify st fam ~update_subs:subs
+      | Some Protocol.Aborted
+        when st.config.presumption = Presume_commit
+             && fam.f_role = Coordinator
+             && not (Hashtbl.mem ends key) ->
+          (* presumed commit: aborts are the acknowledged outcome *)
+          let subs = List.filter (fun s -> s <> me st) fam.f_sites in
+          if subs <> [] then
+            Two_phase.start_notify ~outcome:Protocol.Aborted st fam ~update_subs:subs
+      | Some _ -> ()
+      | None ->
+          if
+            st.config.presumption = Presume_commit
+            && fam.f_role = Coordinator
+            && fam.f_protocol = Protocol.Two_phase
+            && fam.f_prepared
+          then begin
+            (* a collecting record without an outcome: the decision was
+               never made, so the transaction aborts — and must be
+               remembered and acknowledged, or it would be presumed
+               committed later *)
+            resolve_family st fam Protocol.Aborted;
+            ignore
+              (Camelot_wal.Log.append st.log (Record.Abort { a_tid = fam.f_root })
+                : int);
+            let subs = List.filter (fun s -> s <> me st) fam.f_sites in
+            if subs <> [] then
+              Two_phase.start_notify ~outcome:Protocol.Aborted st fam
+                ~update_subs:subs
+          end
+          else if fam.f_prepared || fam.f_quorum_side <> Q_none then
+            in_doubt := fam.f_root :: !in_doubt)
+    st.families;
+  (* start the appropriate blocked-state watchdogs *)
+  List.iter
+    (fun tid ->
+      match find_family st tid with
+      | None -> ()
+      | Some fam -> (
+          fam.f_watchdog <- false;
+          match fam.f_protocol with
+          | Protocol.Nonblocking ->
+              Subordinate.start_takeover_watchdog st fam
+                ~takeover:Nonblocking.takeover
+          | Protocol.Two_phase -> Subordinate.start_inquiry_watchdog st fam))
+    !in_doubt;
+  !in_doubt

@@ -1,0 +1,110 @@
+(** The Camelot transaction manager: one instance per site.
+
+    The TranMan is "essentially a protocol processor" (paper §3): it
+    implements begin/join/commit/abort for arbitrarily nested and
+    distributed transactions, runs the presumed-abort two-phase commit
+    protocol with the §3.2 delayed-commit-ack optimization, the
+    three-phase non-blocking protocol of §3.3, and the abort protocol;
+    it is multithreaded in the §3.4 style (a pool of identical worker
+    threads, none tied to a transaction), and it learns which sites a
+    transaction has spread to from the communication manager's hooks
+    ({!note_sites}).
+
+    All blocking calls must run inside a simulation fiber. *)
+
+type t
+
+(** Raised by transaction calls naming an id this TranMan never saw or
+    has already forgotten. *)
+exception Unknown_transaction of Tid.t
+
+(** [create site ~lan ~log ~directory ~config] builds and starts the
+    transaction manager: worker threads are spawned in the site's fiber
+    group and the network endpoint is registered in [directory] (the
+    name-service map shared by the cluster). If the site restarts,
+    call {!restart}. *)
+val create :
+  Camelot_mach.Site.t ->
+  lan:Camelot_net.Lan.t ->
+  log:Record.t Camelot_wal.Log.t ->
+  directory:(Camelot_mach.Site.id, Protocol.t Camelot_net.Lan.endpoint) Hashtbl.t ->
+  config:State.config ->
+  t
+
+(** Re-spawn worker threads and re-attach the endpoint after the site
+    restarts (volatile transaction state is gone; recovery rebuilds
+    what the log supports). *)
+val restart : t -> unit
+
+val site : t -> Camelot_mach.Site.t
+val config : t -> State.config
+val stats : t -> State.stats
+val trace : t -> Camelot_sim.Trace.t
+
+(** {1 The transaction interface} *)
+
+(** Begin a new top-level transaction (Figure 1, step 2). *)
+val begin_transaction : t -> Tid.t
+
+(** Begin a subtransaction of [parent]. *)
+val begin_nested : t -> parent:Tid.t -> Tid.t
+
+(** Commit the transaction. For a top-level transaction this runs the
+    distributed commitment protocol selected by [protocol] (default
+    {!Protocol.Two_phase}; §3.3: "the type of commitment protocol to
+    execute is specified as an argument to the commit-transaction
+    call") and blocks until the outcome is decided. For a nested
+    transaction it performs local commit with lock anti-inheritance and
+    propagates to the family's other sites.
+    Any still-unresolved subtransactions are aborted first.
+    @raise Unknown_transaction *)
+val commit : t -> ?protocol:Protocol.commit_protocol -> Tid.t -> Protocol.outcome
+
+(** Abort the transaction (top-level: everywhere it spread; nested:
+    just its subtree). Idempotent. *)
+val abort : t -> Tid.t -> unit
+
+(** The outcome of a transaction this TranMan still remembers. *)
+val outcome : t -> Tid.t -> Protocol.outcome option
+
+(** Garbage-collect a finished transaction's descriptor (a real system
+    does this after the End record; the simulator keeps tombstones for
+    inspection until told otherwise). Afterwards inquiries answer
+    "unknown", which is exactly what the configured presumption
+    interprets. No-op while the transaction is unresolved. *)
+val forget : t -> Tid.t -> unit
+
+(** Heuristic resolution of a blocked transaction by an operator (the
+    practical approach the paper credits to LU 6.2): apply the given
+    outcome at this site {e now}, freeing its locks, without waiting
+    for the coordinator. Correctness is not guaranteed — if the real
+    outcome later arrives and disagrees, the contradiction is counted
+    in [stats.n_heuristic_damage] and traced. Returns the previously
+    decided outcome instead if the transaction was already resolved.
+    @raise Unknown_transaction *)
+val heuristic_resolve : t -> Tid.t -> Protocol.outcome -> Protocol.outcome
+
+(** {1 Hooks for servers, the communication manager, and recovery} *)
+
+(** A data server announces itself (must be called again after a
+    restart, before recovery runs). *)
+val register_server : t -> State.server_callbacks -> unit
+
+(** First operation of a transaction at a local server: the server
+    joins the transaction (Figure 1, step 4; one local IPC). *)
+val join : t -> Tid.t -> server:string -> unit
+
+(** The communication manager reports that the transaction has spread
+    to [sites] (merged into the coordinator's participant list). *)
+val note_sites : t -> Tid.t -> Camelot_mach.Site.id list -> unit
+
+(** What this site knows about a transaction (used by recovery and
+    exposed for tests). *)
+val status : t -> Tid.t -> Protocol.status
+
+(** Rebuild protocol state from the durable log after a restart:
+    prepared-but-undecided transactions re-enter the blocked state
+    (2PC: inquiry loop; non-blocking: takeover), coordinator-side
+    commits without an [End] record resume notification. Servers must
+    be re-registered first; returns the transactions still in doubt. *)
+val recover : t -> Tid.t list

@@ -1,0 +1,51 @@
+(** Coordinator side of presumed-abort two-phase commitment with the
+    §3.2 delayed-commit-ack optimization (internal; the public face is
+    {!Tranman.commit}). The subordinate's behaviour under the three
+    write variants lives in {!Subordinate}. *)
+
+(** Commit a local (no-subordinate) family: one forced commit record,
+    or nothing at all when read-only and the optimization is on. *)
+val commit_local : State.t -> State.family -> read_only:bool -> Protocol.outcome
+
+(** Abort at every known site. Presumed abort: the record is lazy, no
+    acks are collected, the descriptor may be forgotten at once. *)
+val abort_distributed :
+  State.t -> State.family -> subs:Camelot_mach.Site.id list -> Protocol.outcome
+
+(** Start the notify phase in the background: retransmit the outcome
+    notice (default [Committed]) until every listed subordinate
+    acknowledged, then write the End record and forget. Under presumed
+    abort this handles commits; under presumed commit, aborts. Also
+    used to resume notification during recovery and by the non-blocking
+    protocol's decision point. *)
+val start_notify :
+  ?outcome:Protocol.outcome ->
+  State.t ->
+  State.family ->
+  update_subs:Camelot_mach.Site.id list ->
+  unit
+
+(** Dispatcher hook: a commit-ack arrived. *)
+val note_outcome_ack : State.t -> State.family -> from:Camelot_mach.Site.id -> unit
+
+(** Mutable result of a vote-collection round. *)
+type votes = {
+  mutable pending : Camelot_mach.Site.id list;  (** no vote received *)
+  mutable read_only_subs : Camelot_mach.Site.id list;
+  mutable refused : bool;  (** somebody voted no *)
+}
+
+(** Collect votes from [subs] on the registered waiter mailbox,
+    re-sending [prepare_msg] to laggards up to the configured retry
+    budget. Shared with the non-blocking protocol's voting phase. *)
+val collect_votes :
+  State.t ->
+  State.family ->
+  Protocol.t Camelot_sim.Mailbox.t ->
+  subs:Camelot_mach.Site.id list ->
+  prepare_msg:Protocol.t ->
+  votes
+
+(** Run the whole protocol for a top-level family; blocks (on a worker
+    thread) until the outcome is decided. *)
+val coordinate : State.t -> State.family -> Protocol.outcome

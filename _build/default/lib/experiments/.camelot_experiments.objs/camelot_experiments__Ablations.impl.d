@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Camelot Camelot_core Camelot_mach Camelot_net Camelot_server Camelot_sim Camelot_wal Engine Fiber List Printf Protocol Report Rng State Stats Tranman Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Camelot_core List Report Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Camelot_core Camelot_sim List Printf Protocol Report Workload

@@ -1,0 +1,1 @@
+lib/experiments/multicast.ml: Camelot_core Camelot_sim Format Printf Report Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Camelot_sim List Printf String

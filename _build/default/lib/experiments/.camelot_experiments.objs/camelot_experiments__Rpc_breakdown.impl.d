@@ -1,0 +1,1 @@
+lib/experiments/rpc_breakdown.ml: Camelot_mach Camelot_sim Cost_model Engine Fiber Hashtbl List Printf Report Rng Rpc Site Stats

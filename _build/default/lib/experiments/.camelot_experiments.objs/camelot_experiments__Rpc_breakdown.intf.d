@@ -1,0 +1,1 @@
+lib/experiments/rpc_breakdown.mli:

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Camelot_mach Cost_model Printf Report

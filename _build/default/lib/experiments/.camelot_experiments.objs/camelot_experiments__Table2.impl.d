@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Camelot_mach Camelot_net Camelot_sim Camelot_wal Cost_model Engine Fiber Mailbox Printf Report Rng Rpc Site Stats

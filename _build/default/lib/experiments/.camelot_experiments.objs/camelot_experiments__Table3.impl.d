@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Camelot_analysis Camelot_core Camelot_mach Camelot_sim Format List Printf Protocol Report Static Workload

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Camelot Camelot_core Camelot_mach Camelot_server Camelot_sim Fiber Protocol Rng State Stats Tranman

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Camelot_core Camelot_sim Protocol

@@ -1,0 +1,11 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+
+    - the §3.2 delayed-commit-ack optimization, measured as subordinate
+      log forces per distributed update transaction (its throughput
+      effect is force count, not latency);
+    - the read-only optimization, on vs off, for a 1-subordinate read;
+    - the non-blocking replication-quorum size;
+    - the group-commit batching window (throughput vs latency, the
+      §3.5 trade). *)
+
+val run : ?reps:int -> unit -> unit

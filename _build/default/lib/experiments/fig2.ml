@@ -1,0 +1,64 @@
+type row = {
+  subordinates : int;
+  variant : Workload.variant;
+  result : Workload.latency_result;
+}
+
+let variants =
+  [
+    Workload.Optimized_write;
+    Workload.Semi_optimized_write;
+    Workload.Unoptimized_write;
+    Workload.Read_only;
+  ]
+
+let collect ?(reps = 150) () =
+  List.concat_map
+    (fun subordinates ->
+      List.map
+        (fun variant ->
+          {
+            subordinates;
+            variant;
+            result =
+              Workload.minimal_transactions ~protocol:Camelot_core.Protocol.Two_phase
+                ~variant ~subordinates ~reps ();
+          })
+        variants)
+    [ 0; 1; 2; 3 ]
+
+let find rows subordinates variant =
+  List.find (fun r -> r.subordinates = subordinates && r.variant = variant) rows
+
+let run ?reps () =
+  let rows = collect ?reps () in
+  Report.header "Figure 2: Latency of Transactions, Two-phase Commit (ms, sd)";
+  Report.table
+    ~columns:
+      [
+        "SUBS";
+        "optimized write";
+        "semi-opt write";
+        "unoptimized write";
+        "read";
+        "TranMgmt opt-write";
+        "TranMgmt read";
+      ]
+    (List.map
+       (fun subs ->
+         let cell v = Report.mean_sd (find rows subs v).result.Workload.total in
+         let tman v = Report.mean_sd (find rows subs v).result.Workload.tranman in
+         [
+           string_of_int subs;
+           cell Workload.Optimized_write;
+           cell Workload.Semi_optimized_write;
+           cell Workload.Unoptimized_write;
+           cell Workload.Read_only;
+           tman Workload.Optimized_write;
+           tman Workload.Read_only;
+         ])
+       [ 0; 1; 2; 3 ]);
+  print_endline
+    "Paper's anchors: local update 31 (1); 1-sub optimized write ~110 (17);\n\
+     variance rises with subordinates; unoptimized > semi-optimized >\n\
+     optimized; reads cheapest."

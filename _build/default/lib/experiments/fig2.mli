@@ -1,0 +1,21 @@
+(** Figure 2 — "Latency of Transactions, Two-phase Commit"
+    (subordinates vs milliseconds, standard deviations in parentheses).
+
+    The §4.2 basic experiment: a minimal transaction (one small
+    operation at one server at each site, same data element every
+    repetition) on 0–3 subordinates, under the four variations —
+    optimized write (commit record not forced, ack piggybacked),
+    semi-optimized write (forced, ack piggybacked), unoptimized write
+    (forced, ack immediate), and read. The transaction-management-only
+    rows subtract the operation costs (3.5 + 29N ms), as the paper
+    does. *)
+
+type row = {
+  subordinates : int;
+  variant : Workload.variant;
+  result : Workload.latency_result;
+}
+
+val collect : ?reps:int -> unit -> row list
+
+val run : ?reps:int -> unit -> unit

@@ -1,0 +1,54 @@
+open Camelot_core
+
+type row = {
+  subordinates : int;
+  write : Workload.latency_result;
+  read : Workload.latency_result;
+  two_phase_write : Workload.latency_result;
+}
+
+let collect ?(reps = 150) () =
+  List.map
+    (fun subordinates ->
+      {
+        subordinates;
+        write =
+          Workload.minimal_transactions ~protocol:Protocol.Nonblocking
+            ~variant:Workload.Optimized_write ~subordinates ~reps ();
+        read =
+          Workload.minimal_transactions ~protocol:Protocol.Nonblocking
+            ~variant:Workload.Read_only ~subordinates ~reps ();
+        two_phase_write =
+          Workload.minimal_transactions ~protocol:Protocol.Two_phase
+            ~variant:Workload.Optimized_write ~subordinates ~reps ();
+      })
+    [ 0; 1; 2; 3 ]
+
+let run ?reps () =
+  let rows = collect ?reps () in
+  Report.header "Figure 3: Latency of Transactions, Non-blocking Commit (ms, sd)";
+  Report.table
+    ~columns:
+      [ "SUBS"; "write"; "read"; "TranMgmt write"; "2PC write"; "NB/2PC ratio" ]
+    (List.map
+       (fun r ->
+         let ratio =
+           if r.subordinates = 0 then "1.00"
+           else
+             Printf.sprintf "%.2f"
+               (r.write.Workload.total.Camelot_sim.Stats.mean
+               /. r.two_phase_write.Workload.total.Camelot_sim.Stats.mean)
+         in
+         [
+           string_of_int r.subordinates;
+           Report.mean_sd r.write.Workload.total;
+           Report.mean_sd r.read.Workload.total;
+           Report.mean_sd r.write.Workload.tranman;
+           Report.mean_sd r.two_phase_write.Workload.total;
+           ratio;
+         ])
+       rows);
+  print_endline
+    "Paper's anchors: 1-sub write >= 145 (static 150); read ~101; cost\n\
+     relative to 2PC somewhat less than 2x (critical-path ratio 4LF+5DG vs\n\
+     2LF+3DG); reads identical to 2PC."

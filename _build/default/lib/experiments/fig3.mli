@@ -1,0 +1,17 @@
+(** Figure 3 — "Latency of Transactions, Non-blocking Commit"
+    (subordinates vs milliseconds, standard deviations in parentheses),
+    plus the §4.3 comparison against two-phase commit: the critical
+    path carries 4 log forces and 5 datagrams against 2 and 3, so the
+    protocol should cost somewhat less than twice as much. *)
+
+type row = {
+  subordinates : int;
+  write : Workload.latency_result;
+  read : Workload.latency_result;
+  two_phase_write : Workload.latency_result;
+      (** optimized 2PC baseline for the ratio *)
+}
+
+val collect : ?reps:int -> unit -> row list
+
+val run : ?reps:int -> unit -> unit

@@ -1,0 +1,30 @@
+let header title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n| %s |\n%s\n" line title line
+
+let table ~columns rows =
+  let all = columns :: rows in
+  let arity = List.length columns in
+  let widths = Array.make arity 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < arity && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths |> List.map (fun w -> w)));
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let mean_sd (s : Camelot_sim.Stats.summary) =
+  Printf.sprintf "%.1f (%.1f)" s.Camelot_sim.Stats.mean s.Camelot_sim.Stats.stddev

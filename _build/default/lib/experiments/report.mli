@@ -1,0 +1,14 @@
+(** Small helpers for printing paper-shaped result tables. *)
+
+(** [header title] prints a boxed section header. *)
+val header : string -> unit
+
+(** [table ~columns rows] prints an aligned table. The first list is
+    column titles; each row must have the same arity. *)
+val table : columns:string list -> string list list -> unit
+
+(** Format a mean with its standard deviation, Figure 2 style:
+    ["123.4 (5.6)"]. *)
+val mean_sd : Camelot_sim.Stats.summary -> string
+
+val f1 : float -> string

@@ -1,0 +1,54 @@
+open Camelot_sim
+open Camelot_mach
+
+let run ?(reps = 1000) () =
+  let eng = Engine.create () in
+  let model = Cost_model.rt in
+  let rng = Rng.create ~seed:21 in
+  let a = Site.create eng ~id:0 ~model ~rng:(Rng.split rng) in
+  let b = Site.create eng ~id:1 ~model ~rng:(Rng.split rng) in
+  let legs : (string, Stats.t) Hashtbl.t = Hashtbl.create 8 in
+  let total = Stats.create () in
+  Fiber.run eng (fun () ->
+      for _ = 1 to reps do
+        let t0 = Fiber.now () in
+        let (), leg_times = Rpc.call_remote_accounted ~client:a ~server:b (fun () -> ()) in
+        Stats.add total (Fiber.now () -. t0);
+        List.iter
+          (fun (label, ms) ->
+            let s =
+              match Hashtbl.find_opt legs label with
+              | Some s -> s
+              | None ->
+                  let s = Stats.create () in
+                  Hashtbl.replace legs label s;
+                  s
+            in
+            Stats.add s ms)
+          leg_times
+      done);
+  Report.header
+    (Printf.sprintf "§4.1: Breakdown of Camelot RPC latency (%d RPCs)" reps);
+  let paper =
+    [
+      ("client CornMan<->NetMsgServer IPC", "1.5");
+      ("client CornMan CPU", "3.2");
+      ("NetMsgServer-to-NetMsgServer RPC", "19.1");
+      ("server CornMan CPU", "3.2");
+      ("server CornMan<->NetMsgServer IPC", "1.5");
+    ]
+  in
+  Report.table
+    ~columns:[ "LEG"; "MEASURED (ms)"; "PAPER (ms)" ]
+    (List.map
+       (fun (label, paper_ms) ->
+         let mean =
+           match Hashtbl.find_opt legs label with
+           | Some s -> Printf.sprintf "%.2f" (Stats.mean s)
+           | None -> "-"
+         in
+         [ label; mean; paper_ms ])
+       paper
+    @ [
+        [ "TOTAL"; Printf.sprintf "%.2f" (Stats.mean total); "28.5" ];
+      ])

@@ -1,0 +1,9 @@
+(** §4.1 — the decomposition of Camelot RPC latency.
+
+    Runs many remote RPCs with per-leg accounting and prints the mean
+    of each leg against the paper's breakdown:
+    19.1 (NetMsgServer-to-NetMsgServer) + 2 x 1.5 (CornMan-NetMsgServer
+    IPC) + 2 x 3.2 (CornMan CPU) = 28.5 ms — "miraculously, there is no
+    extra or missing time". *)
+
+val run : ?reps:int -> unit -> unit

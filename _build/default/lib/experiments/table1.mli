@@ -1,0 +1,9 @@
+(** Table 1 — "Benchmarks of PC-RT and Mach".
+
+    These numbers are the paper's raw machine measurements; in the
+    reproduction they are the {e calibration inputs} of the RT cost
+    model. The experiment prints them in the paper's format and, for
+    the primitives that the simulator actually exercises, verifies the
+    simulated cost against the table. *)
+
+val run : unit -> unit

@@ -1,0 +1,8 @@
+(** Table 2 — "Latency of Camelot Primitives".
+
+    Measures each primitive inside the simulation (IPC flavours, remote
+    RPC, log force, datagram transit, locks) and prints the mean next
+    to the paper's value. The stochastic primitives (RPC, datagram)
+    carry jitter, so their means sit slightly above the constants. *)
+
+val run : ?reps:int -> unit -> unit

@@ -1,0 +1,11 @@
+(** Table 3 — "Latency Breakdown": static analysis of the completion
+    path against empirical measurement, for the three §4.2 anchor
+    workloads (local update, 1-subordinate update, local read), plus
+    the §4.3 force/datagram counts for both protocols.
+
+    The static sums should underestimate the measured times (CPU inside
+    processes and queueing are ignored), as in the paper: 24.5 of 31 ms
+    local update, 99.5 of 110 ms 1-subordinate update, 9.5 of 13 ms
+    local read. *)
+
+val run : ?reps:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Camelot_sim Engine Fiber Format Hashtbl List Queue String

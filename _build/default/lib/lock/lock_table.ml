@@ -1,0 +1,261 @@
+open Camelot_sim
+
+type mode = Shared | Exclusive
+
+let pp_mode ppf = function
+  | Shared -> Format.pp_print_string ppf "S"
+  | Exclusive -> Format.pp_print_string ppf "X"
+
+type 'o waiter = {
+  w_owner : 'o;
+  w_mode : mode;
+  w_resume : unit Fiber.resumer;
+  mutable w_abandoned : bool;  (* timed out *)
+}
+
+type 'o entry = {
+  mutable holders : ('o * mode) list;
+  queue : 'o waiter Queue.t;
+}
+
+type 'o t = {
+  eng : Engine.t;
+  is_ancestor : 'o -> 'o -> bool;
+  entries : (string, 'o entry) Hashtbl.t;
+  owner_keys : ('o, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable grants : int;
+  mutable contended_grants : int;
+}
+
+let create eng ~is_ancestor =
+  {
+    eng;
+    is_ancestor;
+    entries = Hashtbl.create 64;
+    owner_keys = Hashtbl.create 64;
+    grants = 0;
+    contended_grants = 0;
+  }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; queue = Queue.create () } in
+      Hashtbl.replace t.entries key e;
+      e
+
+let index_add t owner key =
+  let keys =
+    match Hashtbl.find_opt t.owner_keys owner with
+    | Some keys -> keys
+    | None ->
+        let keys = Hashtbl.create 8 in
+        Hashtbl.replace t.owner_keys owner keys;
+        keys
+  in
+  Hashtbl.replace keys key ()
+
+let index_remove t owner key =
+  match Hashtbl.find_opt t.owner_keys owner with
+  | None -> ()
+  | Some keys ->
+      Hashtbl.remove keys key;
+      if Hashtbl.length keys = 0 then Hashtbl.remove t.owner_keys owner
+
+let held_mode entry owner =
+  List.assoc_opt owner entry.holders
+
+(* Moss nesting rules. [Exclusive]: every other holder must be an
+   ancestor of the requester. [Shared]: every other [Exclusive] holder
+   must be an ancestor. The requester's own holding never conflicts. *)
+let compatible t entry ~owner mode =
+  List.for_all
+    (fun (holder, held) ->
+      holder = owner
+      || t.is_ancestor holder owner
+      ||
+      match (mode, held) with
+      | Shared, Shared -> true
+      | Shared, Exclusive | Exclusive, (Shared | Exclusive) -> false)
+    entry.holders
+
+let stronger_or_equal have want =
+  match (have, want) with
+  | Exclusive, (Shared | Exclusive) | Shared, Shared -> true
+  | Shared, Exclusive -> false
+
+let record_grant t entry ~owner ~key mode ~waited =
+  let holders = List.remove_assoc owner entry.holders in
+  let mode =
+    match held_mode entry owner with
+    | Some prior when stronger_or_equal prior mode -> prior
+    | Some _ | None -> mode
+  in
+  entry.holders <- (owner, mode) :: holders;
+  index_add t owner key;
+  t.grants <- t.grants + 1;
+  if waited then t.contended_grants <- t.contended_grants + 1
+
+(* Wake queued waiters FIFO, stopping at the first one that still
+   cannot be granted (no overtaking). *)
+let pump t entry ~key =
+  let rec loop () =
+    match Queue.peek_opt entry.queue with
+    | None -> ()
+    | Some w ->
+        if w.w_abandoned || not (Fiber.is_pending w.w_resume) then begin
+          ignore (Queue.pop entry.queue : 'o waiter);
+          loop ()
+        end
+        else if compatible t entry ~owner:w.w_owner w.w_mode then begin
+          ignore (Queue.pop entry.queue : 'o waiter);
+          record_grant t entry ~owner:w.w_owner ~key w.w_mode ~waited:true;
+          Fiber.resume w.w_resume (Ok ());
+          loop ()
+        end
+  in
+  loop ()
+
+let acquire_opt t ~owner ~key mode ~timeout =
+  let e = entry t key in
+  match held_mode e owner with
+  | Some prior when stronger_or_equal prior mode -> true
+  | Some _ | None ->
+      if Queue.is_empty e.queue && compatible t e ~owner mode then begin
+        record_grant t e ~owner ~key mode ~waited:false;
+        true
+      end
+      else begin
+        let granted = ref false in
+        Fiber.suspend (fun resume ->
+            let w =
+              {
+                w_owner = owner;
+                w_mode = mode;
+                w_resume = resume;
+                w_abandoned = false;
+              }
+            in
+            Queue.add w e.queue;
+            (* the new waiter may be grantable right away if everything
+               ahead of it is dead *)
+            pump t e ~key;
+            match timeout with
+            | None -> ()
+            | Some d ->
+                Engine.schedule t.eng ~delay:d (fun () ->
+                    if (not w.w_abandoned) && Fiber.is_pending w.w_resume then begin
+                      match held_mode e w.w_owner with
+                      | Some m when stronger_or_equal m w.w_mode -> ()
+                      | Some _ | None ->
+                          w.w_abandoned <- true;
+                          Fiber.resume w.w_resume (Ok ());
+                          pump t e ~key
+                    end));
+        (match held_mode e owner with
+        | Some m when stronger_or_equal m mode -> granted := true
+        | Some _ | None -> granted := false);
+        !granted
+      end
+
+let acquire t ~owner ~key mode =
+  let granted = acquire_opt t ~owner ~key mode ~timeout:None in
+  assert granted
+
+let acquire_timeout t ~owner ~key mode ~timeout =
+  acquire_opt t ~owner ~key mode ~timeout:(Some timeout)
+
+let acquire_all t ~owner requests =
+  (* hierarchy order = ascending key; X wins over S on duplicates *)
+  let strongest =
+    List.fold_left
+      (fun acc (key, mode) ->
+        match List.assoc_opt key acc with
+        | Some prior when stronger_or_equal prior mode -> acc
+        | Some _ -> (key, mode) :: List.remove_assoc key acc
+        | None -> (key, mode) :: acc)
+      [] requests
+  in
+  let ordered = List.sort (fun (a, _) (b, _) -> String.compare a b) strongest in
+  List.iter (fun (key, mode) -> acquire t ~owner ~key mode) ordered
+
+let try_acquire t ~owner ~key mode =
+  let e = entry t key in
+  match held_mode e owner with
+  | Some prior when stronger_or_equal prior mode -> true
+  | Some _ | None ->
+      if Queue.is_empty e.queue && compatible t e ~owner mode then begin
+        record_grant t e ~owner ~key mode ~waited:false;
+        true
+      end
+      else false
+
+let held t ~owner ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e -> held_mode e owner
+
+let release_key t ~owner ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some e ->
+      e.holders <- List.remove_assoc owner e.holders;
+      index_remove t owner key;
+      pump t e ~key
+
+let release_all t ~owner =
+  match Hashtbl.find_opt t.owner_keys owner with
+  | None -> ()
+  | Some keys ->
+      let all = Hashtbl.fold (fun key () acc -> key :: acc) keys [] in
+      List.iter (fun key -> release_key t ~owner ~key) all
+
+let transfer t ~from_ ~to_ =
+  if from_ <> to_ then
+    match Hashtbl.find_opt t.owner_keys from_ with
+    | None -> ()
+    | Some keys ->
+        let all = Hashtbl.fold (fun key () acc -> key :: acc) keys [] in
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt t.entries key with
+            | None -> ()
+            | Some e -> (
+                match held_mode e from_ with
+                | None -> ()
+                | Some from_mode ->
+                    let merged =
+                      match held_mode e to_ with
+                      | Some to_mode when stronger_or_equal to_mode from_mode ->
+                          to_mode
+                      | Some _ | None -> from_mode
+                    in
+                    e.holders <-
+                      (to_, merged)
+                      :: List.remove_assoc to_ (List.remove_assoc from_ e.holders);
+                    index_remove t from_ key;
+                    index_add t to_ key;
+                    pump t e ~key))
+          all
+
+let holders t ~key =
+  match Hashtbl.find_opt t.entries key with None -> [] | Some e -> e.holders
+
+let keys_of t ~owner =
+  match Hashtbl.find_opt t.owner_keys owner with
+  | None -> []
+  | Some keys -> Hashtbl.fold (fun key () acc -> key :: acc) keys []
+
+let queue_length t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> 0
+  | Some e ->
+      Queue.fold
+        (fun acc w ->
+          if (not w.w_abandoned) && Fiber.is_pending w.w_resume then acc + 1
+          else acc)
+        0 e.queue
+
+let grants t = t.grants
+let contended_grants t = t.contended_grants

@@ -1,0 +1,1 @@
+lib/mach/cost_model.mli: Format

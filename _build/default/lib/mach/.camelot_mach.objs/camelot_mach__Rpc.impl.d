@@ -1,0 +1,1 @@
+lib/mach/rpc.ml: Camelot_sim Cost_model Engine Fiber Rng Site

@@ -1,0 +1,1 @@
+lib/mach/rpc.mli: Site

@@ -1,0 +1,1 @@
+lib/mach/site.ml: Camelot_sim Cost_model Engine Fiber Format List Printf Rng Sync

@@ -1,0 +1,1 @@
+lib/mach/site.mli: Camelot_sim Cost_model Format

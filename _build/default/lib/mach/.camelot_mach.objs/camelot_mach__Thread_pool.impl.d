@@ -1,0 +1,1 @@
+lib/mach/thread_pool.ml: Camelot_sim Fiber Format Mailbox Printexc Printf Site

@@ -1,0 +1,1 @@
+lib/mach/thread_pool.mli: Site

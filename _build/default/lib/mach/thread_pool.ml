@@ -1,0 +1,47 @@
+open Camelot_sim
+
+type t = {
+  work : (unit -> unit) Mailbox.t;
+  threads : int;
+  mutable submitted : int;
+  mutable completed : int;
+}
+
+let worker t =
+  let rec loop () =
+    let job = Mailbox.recv t.work in
+    (try job ()
+     with
+    | Fiber.Cancelled as e -> raise e
+    | e ->
+        Format.eprintf "[thread_pool] work item raised: %s@."
+          (Printexc.to_string e));
+    t.completed <- t.completed + 1;
+    loop ()
+  in
+  loop ()
+
+let create site ~threads =
+  if threads <= 0 then invalid_arg "Thread_pool.create: threads must be positive";
+  let t =
+    {
+      work = Mailbox.create (Site.engine site);
+      threads;
+      submitted = 0;
+      completed = 0;
+    }
+  in
+  for i = 1 to threads do
+    Site.spawn site ~name:(Printf.sprintf "tranman-thread-%d" i) (fun () -> worker t)
+  done;
+  t
+
+let threads t = t.threads
+
+let submit t job =
+  t.submitted <- t.submitted + 1;
+  Mailbox.send t.work job
+
+let submitted t = t.submitted
+let completed t = t.completed
+let backlog t = Mailbox.length t.work

@@ -1,0 +1,29 @@
+(** C-Threads-style worker pool, as used by the Camelot TranMan
+    (paper §3.4): a fixed set of threads, none tied to any particular
+    function or transaction — every thread waits for any type of input,
+    processes it, and resumes waiting.
+
+    The pool size is the experimental parameter of Figures 4 and 5
+    (1 / 5 / 20 threads): with too few threads, a thread blocked on a
+    synchronous log force stalls unrelated requests. *)
+
+type t
+
+(** [create site ~threads] spawns [threads] worker fibers in the site's
+    fiber group. *)
+val create : Site.t -> threads:int -> t
+
+val threads : t -> int
+
+(** [submit t work] enqueues a work item; the next free worker runs it.
+    Never blocks the caller. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Work items accepted so far. *)
+val submitted : t -> int
+
+(** Work items completed so far. *)
+val completed : t -> int
+
+(** Items waiting for a free thread. *)
+val backlog : t -> int

@@ -1,0 +1,1 @@
+lib/net/lan.ml: Camelot_mach Camelot_sim Cost_model Engine Hashtbl List Rng Site

@@ -1,0 +1,1 @@
+lib/net/lan.mli: Camelot_mach Camelot_sim

@@ -1,0 +1,1 @@
+lib/net/reliable.ml: Camelot_sim Hashtbl Queue

@@ -1,0 +1,39 @@
+(** Reliability mechanisms layered over unreliable datagrams.
+
+    The paper (footnote 1): "A transaction manager is responsible for
+    implementing mechanisms such as timeout/retry and duplicate
+    detection." These helpers are those mechanisms; the commit
+    protocols in [camelot_core] decide {e when} to use them. *)
+
+module Dedup : sig
+  (** A bounded duplicate-suppression cache keyed by message id. *)
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  (** [seen t key] records [key] and returns whether it had already
+      been recorded. Oldest keys are evicted when capacity is hit. *)
+  val seen : t -> string -> bool
+
+  val size : t -> int
+end
+
+module Retransmitter : sig
+  (** Periodically re-invoke a send thunk until stopped — the sender
+      half of at-least-once delivery. *)
+  type t
+
+  (** [start engine ~every ~max_tries send] fires [send] immediately
+      and then every [every] ms, up to [max_tries] total (infinite if
+      omitted). *)
+  val start :
+    Camelot_sim.Engine.t -> every:float -> ?max_tries:int -> (unit -> unit) -> t
+
+  (** Cancel future retransmissions (e.g. on ack receipt). *)
+  val stop : t -> unit
+
+  (** Sends performed so far. *)
+  val tries : t -> int
+
+  val stopped : t -> bool
+end

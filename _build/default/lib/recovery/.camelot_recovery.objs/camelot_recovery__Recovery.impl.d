@@ -1,0 +1,1 @@
+lib/recovery/recovery.ml: Camelot_core Camelot_server Camelot_wal List Protocol Record Tranman

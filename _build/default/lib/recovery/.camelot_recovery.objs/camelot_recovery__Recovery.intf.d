@@ -1,0 +1,1 @@
+lib/recovery/recovery.mli: Camelot_core Camelot_server Camelot_wal

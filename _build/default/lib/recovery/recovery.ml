@@ -1,0 +1,67 @@
+open Camelot_core
+
+type verdict = Winner | In_doubt | Loser
+
+let run ~tranman ~log ~servers =
+  let records = Camelot_wal.Log.durable_records log in
+  let in_doubt = Tranman.recover tranman in
+  let verdict_of tid =
+    match Tranman.status tranman tid with
+    | Protocol.St_committed -> Winner
+    | Protocol.St_prepared | Protocol.St_replicated -> In_doubt
+    | Protocol.St_refused | Protocol.St_aborted | Protocol.St_active
+    | Protocol.St_unknown ->
+        Loser
+  in
+  (* value replay starts from the last durable checkpoint: restore its
+     committed snapshot, prepend its in-flight updates, and replay only
+     the records written after it *)
+  let checkpoint =
+    List.fold_left
+      (fun acc (lsn, r) ->
+        match r with
+        | Record.Checkpoint { ck_values; ck_active } -> Some (lsn, ck_values, ck_active)
+        | _ -> acc)
+      None records
+  in
+  let base_lsn, pre_updates =
+    match checkpoint with
+    | None -> (-1, [])
+    | Some (lsn, ck_values, ck_active) ->
+        List.iter
+          (fun (server, key, value) ->
+            List.iter
+              (fun srv ->
+                if Camelot_server.Data_server.name srv = server then
+                  Camelot_server.Data_server.restore srv ~key ~value)
+              servers)
+          ck_values;
+        (lsn, ck_active)
+  in
+  let updates =
+    pre_updates
+    @ List.filter_map
+        (fun (lsn, r) ->
+          match r with
+          | Record.Update u when lsn > base_lsn -> Some u
+          | Record.Update _ | _ -> None)
+        records
+  in
+  (* forward pass: rebuild values; in-doubt updates also regain locks *)
+  List.iter
+    (fun (u : Record.update) ->
+      let v = verdict_of u.u_tid in
+      List.iter
+        (fun srv ->
+          match v with
+          | In_doubt -> Camelot_server.Data_server.recover_in_doubt srv u
+          | Winner | Loser -> Camelot_server.Data_server.redo srv u)
+        servers)
+    updates;
+  (* reverse pass: undo the losers *)
+  List.iter
+    (fun (u : Record.update) ->
+      if verdict_of u.u_tid = Loser then
+        List.iter (fun srv -> Camelot_server.Data_server.undo srv u) servers)
+    (List.rev updates);
+  in_doubt

@@ -1,0 +1,28 @@
+(** The recovery process: after a site failure it reads the durable log
+    and instructs servers how to undo or redo the updates of
+    interrupted transactions (paper §2).
+
+    Protocol: the transaction manager first rebuilds its descriptors
+    from the log ({!Camelot_core.Tranman.recover}), classifying every
+    logged family as winner (commit record present), in doubt (prepared
+    or quorum-joined but undecided), or loser (everything else —
+    presumed abort). Then, per data server:
+
+    - all updates are re-applied in log order (the value store is
+      volatile and rebuilt from scratch — no checkpointing, the log is
+      complete);
+    - losers' updates are undone in reverse log order;
+    - in-doubt updates keep their values, regain their undo records and
+      exclusive locks, and block new transactions until the inquiry
+      loop (2PC) or takeover (non-blocking) resolves them.
+
+    Call after the site restarts and the servers have been
+    reattached. *)
+
+(** Returns the transactions left in doubt (their watchdogs are
+    running). *)
+val run :
+  tranman:Camelot_core.Tranman.t ->
+  log:Camelot_core.Record.t Camelot_wal.Log.t ->
+  servers:Camelot_server.Data_server.t list ->
+  Camelot_core.Tid.t list

@@ -1,0 +1,1 @@
+lib/server/data_server.ml: Camelot_core Camelot_lock Camelot_mach Camelot_wal Cost_model Hashtbl List Option Protocol Record Site State Tid Tranman

@@ -1,0 +1,1 @@
+lib/server/data_server.mli: Camelot_core Camelot_lock Camelot_mach Camelot_wal

@@ -1,0 +1,274 @@
+open Camelot_mach
+open Camelot_core
+
+type op = Read of string | Write of string * int | Add of string * int
+
+exception Lock_timeout of { server : string; key : string }
+
+(* One undo entry per update, newest first. [e_tid] is retagged to the
+   parent when a subtransaction commits (anti-inheritance of the
+   ability to undo, mirroring the lock transfer). *)
+type undo_entry = { mutable e_tid : Tid.t; e_key : string; e_old : int }
+
+type family_state = {
+  mutable fs_undo : undo_entry list;
+  mutable fs_joined : Tid.t list;  (* tids that joined at this server *)
+  mutable fs_updated : bool;
+  mutable fs_veto : Tid.t list;  (* test hook *)
+}
+
+type t = {
+  name : string;
+  tranman : Tranman.t;
+  site : Site.t;
+  log : Record.t Camelot_wal.Log.t;
+  lock_timeout_ms : float option;
+  mutable values : (string, int) Hashtbl.t;
+  mutable locks : Tid.t Camelot_lock.Lock_table.t;
+  families : (Site.id * int, family_state) Hashtbl.t;
+  mutable updates_spooled : int;
+}
+
+let name t = t.name
+let site t = t.site
+let locks t = t.locks
+let updates_spooled t = t.updates_spooled
+
+let family_state t tid =
+  let key = Tid.family tid in
+  match Hashtbl.find_opt t.families key with
+  | Some fs -> fs
+  | None ->
+      let fs = { fs_undo = []; fs_joined = []; fs_updated = false; fs_veto = [] } in
+      Hashtbl.replace t.families key fs;
+      fs
+
+let get_value t key = Option.value ~default:0 (Hashtbl.find_opt t.values key)
+
+let peek t key = get_value t key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.values []
+
+let veto_next t tid = (family_state t tid).fs_veto <- tid :: (family_state t tid).fs_veto
+
+(* --- callbacks registered with the transaction manager ----------- *)
+
+let in_subtree root tid = Tid.is_ancestor root tid
+
+(* Undo the subtree rooted at [tid]: newest entries first, then release
+   the subtree's locks. *)
+let do_abort t tid =
+  let fs = family_state t tid in
+  let model = Site.model t.site in
+  let keep, gone =
+    List.partition (fun e -> not (in_subtree tid e.e_tid)) fs.fs_undo
+  in
+  List.iter (fun e -> Hashtbl.replace t.values e.e_key e.e_old) gone;
+  fs.fs_undo <- keep;
+  List.iter
+    (fun owner ->
+      if in_subtree tid owner then begin
+        Site.cpu_use t.site model.Cost_model.drop_lock_ms;
+        Camelot_lock.Lock_table.release_all t.locks ~owner
+      end)
+    fs.fs_joined;
+  if Tid.is_top tid then Hashtbl.remove t.families (Tid.family tid)
+
+(* Family committed: discard undo, drop every member's locks. *)
+let do_commit t tid =
+  let fs = family_state t tid in
+  let model = Site.model t.site in
+  List.iter
+    (fun owner ->
+      Site.cpu_use t.site model.Cost_model.drop_lock_ms;
+      Camelot_lock.Lock_table.release_all t.locks ~owner)
+    fs.fs_joined;
+  Hashtbl.remove t.families (Tid.family tid)
+
+(* Nested commit: the subtree's locks and undo entries pass to the
+   parent. *)
+let do_subcommit t tid =
+  match Tid.parent tid with
+  | None -> ()
+  | Some parent ->
+      let fs = family_state t tid in
+      List.iter
+        (fun e -> if in_subtree tid e.e_tid then e.e_tid <- parent)
+        fs.fs_undo;
+      List.iter
+        (fun owner ->
+          if in_subtree tid owner then
+            Camelot_lock.Lock_table.transfer t.locks ~from_:owner ~to_:parent)
+        fs.fs_joined;
+      if not (List.exists (Tid.equal parent) fs.fs_joined) then
+        fs.fs_joined <- parent :: fs.fs_joined
+
+let do_vote t tid =
+  match Hashtbl.find_opt t.families (Tid.family tid) with
+  | None -> Protocol.Vote_no
+  | Some fs ->
+      if List.exists (Tid.equal tid) fs.fs_veto then begin
+        fs.fs_veto <- List.filter (fun v -> not (Tid.equal tid v)) fs.fs_veto;
+        Protocol.Vote_no
+      end
+      else Protocol.Vote_yes { read_only = not fs.fs_updated }
+
+let callbacks t =
+  {
+    State.sv_name = t.name;
+    sv_vote = do_vote t;
+    sv_commit = do_commit t;
+    sv_abort = do_abort t;
+    sv_subcommit = do_subcommit t;
+  }
+
+let reattach t = Tranman.register_server t.tranman (callbacks t)
+
+let create ~name ~tranman ~log ?lock_timeout_ms () =
+  let site = Tranman.site tranman in
+  let t =
+    {
+      name;
+      tranman;
+      site;
+      log;
+      lock_timeout_ms;
+      values = Hashtbl.create 64;
+      locks =
+        Camelot_lock.Lock_table.create (Site.engine site)
+          ~is_ancestor:Tid.is_ancestor;
+      families = Hashtbl.create 16;
+      updates_spooled = 0;
+    }
+  in
+  reattach t;
+  t
+
+(* --- operations --------------------------------------------------- *)
+
+let acquire t tid ~key mode =
+  let model = Site.model t.site in
+  Site.cpu_use t.site model.Cost_model.get_lock_ms;
+  match t.lock_timeout_ms with
+  | None -> Camelot_lock.Lock_table.acquire t.locks ~owner:tid ~key mode
+  | Some timeout ->
+      if not (Camelot_lock.Lock_table.acquire_timeout t.locks ~owner:tid ~key mode ~timeout)
+      then raise (Lock_timeout { server = t.name; key })
+
+let spool_update t tid ~key ~old_v ~new_v =
+  t.updates_spooled <- t.updates_spooled + 1;
+  (* the server reports old and new values to the disk manager, which
+     copies them into the log buffer — real CPU on the site *)
+  Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
+  ignore
+    (Camelot_wal.Log.append t.log
+       (Record.Update
+          { u_tid = tid; u_server = t.name; u_key = key; u_old = old_v; u_new = new_v })
+      : int)
+
+let apply_write t fs tid ~key new_v =
+  let old_v = get_value t key in
+  fs.fs_undo <- { e_tid = tid; e_key = key; e_old = old_v } :: fs.fs_undo;
+  fs.fs_updated <- true;
+  Hashtbl.replace t.values key new_v;
+  spool_update t tid ~key ~old_v ~new_v;
+  new_v
+
+let execute t tid op =
+  let fs = family_state t tid in
+  if not (List.exists (Tid.equal tid) fs.fs_joined) then begin
+    (* Figure 1 step 4: first touch — join the transaction *)
+    Tranman.join t.tranman tid ~server:t.name;
+    fs.fs_joined <- tid :: fs.fs_joined
+  end;
+  match op with
+  | Read key ->
+      acquire t tid ~key Camelot_lock.Lock_table.Shared;
+      get_value t key
+  | Write (key, v) ->
+      acquire t tid ~key Camelot_lock.Lock_table.Exclusive;
+      apply_write t fs tid ~key v
+  | Add (key, d) ->
+      acquire t tid ~key Camelot_lock.Lock_table.Exclusive;
+      apply_write t fs tid ~key (get_value t key + d)
+
+(* --- crash / recovery --------------------------------------------- *)
+
+let reset t =
+  t.values <- Hashtbl.create 64;
+  t.locks <-
+    Camelot_lock.Lock_table.create (Site.engine t.site) ~is_ancestor:Tid.is_ancestor;
+  Hashtbl.reset t.families;
+  t.updates_spooled <- 0
+
+let redo t (u : Record.update) =
+  if u.u_server = t.name then Hashtbl.replace t.values u.u_key u.u_new
+
+let undo t (u : Record.update) =
+  if u.u_server = t.name then Hashtbl.replace t.values u.u_key u.u_old
+
+(* --- checkpointing ------------------------------------------------- *)
+
+(* Committed state = current values with every in-flight transaction's
+   effects undone (newest undo entries first, per key chains). *)
+let snapshot t =
+  let committed = Hashtbl.copy t.values in
+  (* undo entries are newest-first; applying them in that order walks
+     each key back to its oldest (committed) value *)
+  Hashtbl.iter
+    (fun _ fs ->
+      List.iter
+        (fun (e : undo_entry) -> Hashtbl.replace committed e.e_key e.e_old)
+        fs.fs_undo)
+    t.families;
+  Hashtbl.fold (fun key v acc -> (t.name, key, v) :: acc) committed []
+
+(* Reconstruct the in-flight updates (oldest first) so a recovery that
+   starts from the checkpoint can rebuild undo stacks and locks for
+   transactions still unresolved at snapshot time. *)
+let inflight t =
+  Hashtbl.fold
+    (fun _ fs acc ->
+      (* per key, walk the chain oldest-first: each update's new value
+         is the next entry's old value, the last one's is the current *)
+      let oldest_first = List.rev fs.fs_undo in
+      let rec rebuild entries acc =
+        match entries with
+        | [] -> acc
+        | (e : undo_entry) :: rest ->
+            let new_v =
+              match
+                List.find_opt (fun (n : undo_entry) -> n.e_key = e.e_key) rest
+              with
+              | Some next -> next.e_old
+              | None -> get_value t e.e_key
+            in
+            rebuild rest
+              ({
+                 Record.u_tid = e.e_tid;
+                 u_server = t.name;
+                 u_key = e.e_key;
+                 u_old = e.e_old;
+                 u_new = new_v;
+               }
+              :: acc)
+      in
+      List.rev (rebuild oldest_first []) @ acc)
+    t.families []
+
+(* Recovery: install a checkpointed committed value. *)
+let restore t ~key ~value = Hashtbl.replace t.values key value
+
+let recover_in_doubt t (u : Record.update) =
+  if u.u_server = t.name then begin
+    Hashtbl.replace t.values u.u_key u.u_new;
+    let fs = family_state t u.u_tid in
+    fs.fs_undo <- { e_tid = u.u_tid; e_key = u.u_key; e_old = u.u_old } :: fs.fs_undo;
+    fs.fs_updated <- true;
+    if not (List.exists (Tid.equal u.u_tid) fs.fs_joined) then
+      fs.fs_joined <- u.u_tid :: fs.fs_joined;
+    ignore
+      (Camelot_lock.Lock_table.try_acquire t.locks ~owner:u.u_tid ~key:u.u_key
+         Camelot_lock.Lock_table.Exclusive
+        : bool)
+  end

@@ -1,0 +1,47 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable executed : int;
+  queue : (unit -> unit) Heap.t;
+}
+
+let create () = { now = 0.0; seq = 0; executed = 0; queue = Heap.create () }
+
+let now t = t.now
+
+let schedule_at t ~time f =
+  let time = if time < t.now then t.now else time in
+  Heap.push t.queue ~priority:time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) f
+
+let step t =
+  match Heap.peek_priority t.queue with
+  | None -> false
+  | Some time -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some f ->
+          t.now <- time;
+          t.executed <- t.executed + 1;
+          f ();
+          true)
+
+let run ?until t =
+  let continue () =
+    match (until, Heap.peek_priority t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t : bool)
+  done;
+  match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
+
+let pending t = Heap.length t.queue
+
+let executed t = t.executed

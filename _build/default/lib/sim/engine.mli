@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (in milliseconds, matching the
+    paper's unit of account) and a queue of pending events ordered by
+    [(time, insertion order)]. All simulated concurrency — fibers,
+    mailboxes, network transit, disk writes — bottoms out in
+    [schedule]. Running the engine to quiescence is deterministic. *)
+
+type t
+
+(** [create ()] is a fresh engine with the clock at 0.0 ms. *)
+val create : unit -> t
+
+(** Current virtual time, in milliseconds. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at virtual time [now t +. delay].
+    [delay] must be non-negative. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f] at absolute virtual [time]; if
+    [time] is in the past it runs at the current time. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** [run t] processes events until the queue is empty.
+    @param until stop once the clock would pass this time; remaining
+    events stay queued. *)
+val run : ?until:float -> t -> unit
+
+(** [step t] executes the single next event. Returns [false] if the
+    queue was empty. *)
+val step : t -> bool
+
+(** Number of events waiting in the queue. *)
+val pending : t -> int
+
+(** Total number of events executed so far. *)
+val executed : t -> int

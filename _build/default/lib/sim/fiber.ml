@@ -1,0 +1,130 @@
+exception Cancelled
+
+type 'a resumer = { fire : ('a, exn) result -> unit; pending : unit -> bool }
+
+let resume r v = r.fire v
+
+let is_pending r = r.pending ()
+
+module Group = struct
+  type t = {
+    mutable killed : bool;
+    cancels : (int, unit -> unit) Hashtbl.t;
+    mutable next_id : int;
+  }
+
+  let create () = { killed = false; cancels = Hashtbl.create 16; next_id = 0 }
+
+  let killed t = t.killed
+
+  let kill t =
+    if not t.killed then begin
+      t.killed <- true;
+      let pending = Hashtbl.fold (fun _ cancel acc -> cancel :: acc) t.cancels [] in
+      Hashtbl.reset t.cancels;
+      List.iter (fun cancel -> cancel ()) pending
+    end
+
+  let register t cancel =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.cancels id cancel;
+    id
+
+  let unregister t id = Hashtbl.remove t.cancels id
+end
+
+type context = { ctx_engine : Engine.t; ctx_group : Group.t option }
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+  | Context : context Effect.t
+
+let default_on_exn name exn =
+  Format.eprintf "[camelot_sim] fiber %s died: %s@." name (Printexc.to_string exn)
+
+(* Wrap a continuation resumption so that it fires at most once, goes
+   through the event queue (preserving run-to-completion semantics of the
+   current event), and can be cancelled by the fiber's group. *)
+let make_firing (type a b) eng group
+    (k : (a, b) Effect.Deep.continuation) : a resumer =
+  let fired = ref false in
+  let registration = ref None in
+  let fire result =
+    if not !fired then begin
+      fired := true;
+      (match (!registration, group) with
+      | Some id, Some g -> Group.unregister g id
+      | _ -> ());
+      Engine.schedule eng ~delay:0.0 (fun () ->
+          match result with
+          | Ok v -> ignore (Effect.Deep.continue k v : b)
+          | Error e -> ignore (Effect.Deep.discontinue k e : b))
+    end
+  in
+  (match group with
+  | Some g when not (Group.killed g) ->
+      registration := Some (Group.register g (fun () -> fire (Error Cancelled)))
+  | Some _ -> fire (Error Cancelled)
+  | None -> ());
+  { fire; pending = (fun () -> not !fired) }
+
+let spawn eng ?group ?(name = "fiber") ?on_exn fn =
+  let on_exn = match on_exn with Some f -> f | None -> default_on_exn name in
+  let ctx = { ctx_engine = eng; ctx_group = group } in
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> ());
+      exnc =
+        (fun e -> match e with Cancelled -> () | e -> on_exn e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  let r = make_firing eng group k in
+                  Engine.schedule eng ~delay:d (fun () -> resume r (Ok ())))
+          | Suspend register ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  register (make_firing eng group k))
+          | Context ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ctx)
+          | _ -> None);
+    }
+  in
+  Engine.schedule eng ~delay:0.0 (fun () ->
+      match group with
+      | Some g when Group.killed g -> ()
+      | Some _ | None -> Effect.Deep.match_with fn () handler)
+
+let run eng fn =
+  let result = ref None in
+  spawn eng ~name:"main"
+    ~on_exn:(fun e -> result := Some (Error e))
+    (fun () -> result := Some (Ok (fn ())));
+  (* step until the main fiber completes: background fibers (flushers,
+     watchdogs) may keep the queue non-empty forever *)
+  while Option.is_none !result && Engine.step eng do
+    ()
+  done;
+  match !result with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> failwith "Fiber.run: main fiber blocked forever (deadlock)"
+
+let sleep d = Effect.perform (Sleep d)
+
+let yield () = sleep 0.0
+
+let context () = Effect.perform Context
+
+let engine () = (context ()).ctx_engine
+
+let now () = Engine.now (engine ())
+
+let suspend register = Effect.perform (Suspend register)

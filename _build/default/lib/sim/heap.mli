@@ -1,0 +1,27 @@
+(** Binary min-heap keyed by [(priority, sequence)] pairs.
+
+    The sequence number breaks priority ties so that elements with equal
+    priority pop in insertion order — the property the event queue needs
+    for deterministic simulation. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** Number of elements currently stored. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~priority ~seq v] inserts [v]. *)
+val push : 'a t -> priority:float -> seq:int -> 'a -> unit
+
+(** [pop t] removes and returns the minimum element, or [None] if empty. *)
+val pop : 'a t -> 'a option
+
+(** [peek_priority t] is the priority of the minimum element. *)
+val peek_priority : 'a t -> float option
+
+(** Remove every element. *)
+val clear : 'a t -> unit

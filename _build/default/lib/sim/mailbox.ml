@@ -1,0 +1,59 @@
+(* A waiter is "live" while its resumer is pending AND it has not timed
+   out. [timed_out] distinguishes a waiter abandoned by its timeout from
+   one cancelled by a group kill; both are skipped by senders. *)
+type 'a waiter = {
+  resume : 'a option Fiber.resumer;
+  mutable timed_out : bool;
+}
+
+type 'a t = {
+  eng : Engine.t;
+  items : 'a Queue.t;
+  pending : 'a waiter Queue.t;
+}
+
+let create eng = { eng; items = Queue.create (); pending = Queue.create () }
+
+let live w = (not w.timed_out) && Fiber.is_pending w.resume
+
+(* Pop the next waiter still worth delivering to. *)
+let rec next_waiter t =
+  match Queue.take_opt t.pending with
+  | None -> None
+  | Some w -> if live w then Some w else next_waiter t
+
+let send t v =
+  match next_waiter t with
+  | Some w -> Fiber.resume w.resume (Ok (Some v))
+  | None -> Queue.add v t.items
+
+let try_recv t = Queue.take_opt t.items
+
+let recv_opt t ~timeout =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      Fiber.suspend (fun resume ->
+          let w = { resume; timed_out = false } in
+          Queue.add w t.pending;
+          match timeout with
+          | None -> ()
+          | Some d ->
+              Engine.schedule t.eng ~delay:d (fun () ->
+                  if live w then begin
+                    w.timed_out <- true;
+                    Fiber.resume w.resume (Ok None)
+                  end))
+
+let recv t =
+  match recv_opt t ~timeout:None with
+  | Some v -> v
+  | None -> assert false (* no timeout was armed *)
+
+let recv_timeout t d = recv_opt t ~timeout:(Some d)
+
+let length t = Queue.length t.items
+
+let waiters t = Queue.fold (fun acc w -> if live w then acc + 1 else acc) 0 t.pending
+
+let clear t = Queue.clear t.items

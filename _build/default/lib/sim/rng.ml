@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let uniform t =
+  (* 53 random bits into the mantissa: uniform over [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t ~lo ~hi = lo +. ((hi -. lo) *. uniform t)
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  let mask = Int64.of_int (bound - 1) in
+  if Int64.logand mask (Int64.of_int bound) = 0L then
+    (* power of two: mask directly *)
+    Int64.to_int (Int64.logand (next_int64 t) mask)
+  else int_of_float (uniform t *. float_of_int bound)
+
+let bool t ~p = uniform t < p
+
+let exponential t ~mean =
+  if mean < 0.0 then invalid_arg "Rng.exponential: negative mean";
+  if mean = 0.0 then 0.0
+  else
+    let u = 1.0 -. uniform t in
+    -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. uniform t in
+  let u2 = uniform t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,34 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    Every stochastic element of the simulation draws from an [Rng.t]
+    seeded explicitly, so whole experiments replay bit-for-bit from a
+    seed. [split] derives an independent stream, letting each site or
+    subsystem own its own generator without cross-coupling. *)
+
+type t
+
+val create : seed:int -> t
+
+(** An independent generator derived from [t]'s current state. *)
+val split : t -> t
+
+(** Uniform in [\[0, 1)]. *)
+val uniform : t -> float
+
+(** Uniform in [\[lo, hi)]. *)
+val float_range : t -> lo:float -> hi:float -> float
+
+(** Uniform integer in [\[0, bound)]. [bound] must be positive. *)
+val int_below : t -> int -> int
+
+(** [bool t ~p] is [true] with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** Exponentially distributed with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Normally distributed (Box–Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,80 @@
+(** Fiber-aware synchronization: mutexes, condition variables,
+    semaphores, and FCFS timed resources (the building block for
+    simulated CPUs and disks). All wait queues are FIFO. *)
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+
+  (** Block until the mutex is free, then take it. Not reentrant: a
+      fiber locking a mutex it holds deadlocks — just like the
+      spin-lock package of the paper's §3.4. *)
+  val lock : t -> unit
+
+  (** Release and wake the oldest waiter.
+      @raise Invalid_argument if the mutex is not held. *)
+  val unlock : t -> unit
+
+  val locked : t -> bool
+
+  (** [with_lock t f] is [f ()] bracketed by lock/unlock. *)
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Condition : sig
+  type t
+
+  val create : Engine.t -> t
+
+  (** Atomically release [mutex] and wait; re-acquires before return. *)
+  val wait : t -> Mutex.t -> unit
+
+  (** Wake one waiter. *)
+  val signal : t -> unit
+
+  (** Wake all waiters. *)
+  val broadcast : t -> unit
+end
+
+module Semaphore : sig
+  type t
+
+  (** [create n] has [n] initial permits. *)
+  val create : int -> t
+
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end
+
+module Resource : sig
+  (** A timed resource with one or more identical servers: simulated
+      CPU (multiprocessors use [servers > 1]), disk arm, network
+      interface. [use] queues FCFS, holds one server for the given
+      duration of virtual time, and releases it. Tracks utilization
+      statistics. *)
+  type t
+
+  (** @param servers number of identical servers (default 1). *)
+  val create : ?servers:int -> Engine.t -> name:string -> t
+
+  (** Occupy the resource for [duration] ms (after queueing). Returns
+      the time spent waiting in the queue. *)
+  val use : t -> duration:float -> float
+
+  val name : t -> string
+  val servers : t -> int
+
+  (** Servers currently held. *)
+  val in_use : t -> int
+
+  (** Total virtual time servers have been held (summed over servers). *)
+  val busy_time : t -> float
+
+  (** Number of completed [use] calls. *)
+  val completions : t -> int
+
+  (** Fibers currently queued (not counting the holder). *)
+  val queue_length : t -> int
+end

@@ -1,0 +1,48 @@
+type record = { time : float; tag : string; message : string }
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable next : int;
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; count = 0; enabled = true }
+
+let set_enabled t flag = t.enabled <- flag
+
+let enabled t = t.enabled
+
+let add t record =
+  t.ring.(t.next) <- Some record;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1
+
+let record t eng ~tag fmt =
+  Format.kasprintf
+    (fun message ->
+      if t.enabled then add t { time = Engine.now eng; tag; message })
+    fmt
+
+let dump t =
+  let result = ref [] in
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  for i = t.count - 1 downto 0 do
+    match t.ring.((start + i) mod t.capacity) with
+    | Some r -> result := r :: !result
+    | None -> ()
+  done;
+  !result
+
+let pp ppf t =
+  List.iter
+    (fun r -> Format.fprintf ppf "%10.3f [%s] %s@." r.time r.tag r.message)
+    (dump t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,31 @@
+(** Lightweight event tracing for debugging simulations.
+
+    A trace is a bounded ring of [(virtual time, tag, message)] records.
+    Tracing costs nothing when disabled. The protocol implementations
+    tag every message send/receive and log write, so a failed test can
+    dump the exact interleaving that produced it. *)
+
+type t
+
+type record = { time : float; tag : string; message : string }
+
+(** [create ~capacity ()] keeps the last [capacity] records. *)
+val create : ?capacity:int -> unit -> t
+
+(** Globally enable/disable recording (starts disabled is [false];
+    traces are created enabled). *)
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+(** [record t eng ~tag fmt ...] records a formatted message stamped
+    with the engine's current time. *)
+val record : t -> Engine.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Records, oldest first. *)
+val dump : t -> record list
+
+(** Pretty-print all records, one per line. *)
+val pp : Format.formatter -> t -> unit
+
+val clear : t -> unit

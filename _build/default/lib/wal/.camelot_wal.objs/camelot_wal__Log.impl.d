@@ -1,0 +1,1 @@
+lib/wal/log.ml: Array Camelot_mach Camelot_sim Fiber List Printf Sync

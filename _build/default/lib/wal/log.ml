@@ -1,0 +1,137 @@
+open Camelot_sim
+
+type lsn = int
+
+type 'a t = {
+  site : Camelot_mach.Site.t;
+  disk : Sync.Resource.t;
+  cond : Sync.Condition.t;
+  cond_mutex : Sync.Mutex.t;
+  mutable records : 'a array;
+  mutable size : int;
+  mutable durable : lsn;
+  mutable writing : bool;
+  mutable group_commit : bool;
+  batch_window_ms : float;
+  mutable forces : int;
+  mutable disk_writes : int;
+}
+
+let create ?(group_commit = false) ?(batch_window_ms = 0.0) site =
+  let eng = Camelot_mach.Site.engine site in
+  {
+    site;
+    disk =
+      Sync.Resource.create eng
+        ~name:(Printf.sprintf "site%d.logdisk" (Camelot_mach.Site.id site));
+    cond = Sync.Condition.create eng;
+    cond_mutex = Sync.Mutex.create ();
+    records = [||];
+    size = 0;
+    durable = -1;
+    writing = false;
+    group_commit;
+    batch_window_ms;
+    forces = 0;
+    disk_writes = 0;
+  }
+
+let append t record =
+  let capacity = Array.length t.records in
+  if t.size = capacity then begin
+    let bigger = Array.make (max 64 (2 * capacity)) record in
+    Array.blit t.records 0 bigger 0 t.size;
+    t.records <- bigger
+  end;
+  t.records.(t.size) <- record;
+  t.size <- t.size + 1;
+  t.size - 1
+
+let tail_lsn t = t.size - 1
+
+let durable_lsn t = t.durable
+
+let force_ms t = (Camelot_mach.Site.model t.site).Camelot_mach.Cost_model.log_force_ms
+
+(* One physical write makes everything spooled at write start durable. *)
+let disk_write t =
+  let target = tail_lsn t in
+  ignore (Sync.Resource.use t.disk ~duration:(force_ms t) : float);
+  t.disk_writes <- t.disk_writes + 1;
+  if target > t.durable then t.durable <- target;
+  Sync.Condition.broadcast t.cond
+
+let rec force_batched t target =
+  if target > t.durable then begin
+    if t.writing then begin
+      (* a leader's write is in flight; wait for it and re-check *)
+      Sync.Mutex.lock t.cond_mutex;
+      Sync.Condition.wait t.cond t.cond_mutex;
+      Sync.Mutex.unlock t.cond_mutex;
+      force_batched t target
+    end
+    else begin
+      t.writing <- true;
+      (* let forces issued at this same instant spool their records
+         into this batch before the I/O is issued *)
+      if t.batch_window_ms > 0.0 then Fiber.sleep t.batch_window_ms
+      else Fiber.yield ();
+      disk_write t;
+      t.writing <- false;
+      Sync.Condition.broadcast t.cond
+    end
+  end
+
+let force t =
+  let target = tail_lsn t in
+  t.forces <- t.forces + 1;
+  if target > t.durable then
+    if t.group_commit then force_batched t target else disk_write t
+
+let append_force t record =
+  let lsn = append t record in
+  force t;
+  lsn
+
+let durable_records t =
+  List.init (t.durable + 1) (fun i -> (i, t.records.(i)))
+
+let all_records t = List.init t.size (fun i -> (i, t.records.(i)))
+
+let crash t =
+  (* the volatile tail is lost with the site's memory *)
+  t.size <- t.durable + 1;
+  t.writing <- false
+
+let forces t = t.forces
+let disk_writes t = t.disk_writes
+let group_commit t = t.group_commit
+let set_group_commit t flag = t.group_commit <- flag
+
+let rec wait_durable t lsn =
+  if lsn > t.durable then begin
+    Sync.Mutex.lock t.cond_mutex;
+    Sync.Condition.wait t.cond t.cond_mutex;
+    Sync.Mutex.unlock t.cond_mutex;
+    wait_durable t lsn
+  end
+
+let start_flusher t ~every =
+  if every <= 0.0 then invalid_arg "Log.start_flusher: period must be positive";
+  Camelot_mach.Site.spawn t.site ~name:"log-flusher" (fun () ->
+      let rec loop () =
+        Fiber.sleep every;
+        (* only flush an idle disk: foreground forces have priority *)
+        if
+          tail_lsn t > t.durable
+          && (not t.writing)
+          && Sync.Resource.in_use t.disk = 0
+          && Sync.Resource.queue_length t.disk = 0
+        then begin
+          t.writing <- true;
+          disk_write t;
+          t.writing <- false
+        end;
+        loop ()
+      in
+      loop ())

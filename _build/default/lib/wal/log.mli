@@ -1,0 +1,85 @@
+(** The common stable-storage write-ahead log of one site.
+
+    In Camelot the disk manager is the single point of access to the
+    log and batches log records there (§3.5 "log batching" / group
+    commit). This module reproduces that behaviour:
+
+    - [append] spools a record into the volatile tail — free;
+    - [force] blocks the calling fiber until every record spooled so
+      far is durable. The disk is a serial resource taking
+      [log_force_ms] per write, capping an unbatched log at
+      ~1000/[log_force_ms] forces per second — the paper's "no more
+      than about 30 log writes per second" argument;
+    - with {b group commit} enabled, one disk write satisfies every
+      force pending at the moment the write starts (plus, optionally, a
+      batching window timer as in the IMS/Fast-Path and TMF designs the
+      paper cites);
+    - a site {b crash} discards the volatile tail; the durable prefix
+      survives and is what recovery reads.
+
+    The record payload is a type parameter: the transaction manager
+    defines its own record type ([camelot_core.Record]). *)
+
+type 'a t
+
+(** Log sequence number: index of a record, starting at 0. *)
+type lsn = int
+
+(** [create site] builds the site's log using its cost model's
+    [log_force_ms].
+    @param group_commit batch concurrent forces (default false)
+    @param batch_window_ms with group commit, how long a leader waits
+    before starting the disk write, to accumulate more records
+    (default 0). *)
+val create :
+  ?group_commit:bool -> ?batch_window_ms:float -> Camelot_mach.Site.t -> 'a t
+
+(** Spool a record into the volatile tail; returns its LSN. *)
+val append : 'a t -> 'a -> lsn
+
+(** Block until all currently-spooled records are durable. Must run in
+    a fiber. *)
+val force : 'a t -> unit
+
+(** [append] then [force]. Returns the record's LSN. *)
+val append_force : 'a t -> 'a -> lsn
+
+(** Highest spooled LSN (-1 if none). *)
+val tail_lsn : 'a t -> lsn
+
+(** Highest durable LSN (-1 if none). *)
+val durable_lsn : 'a t -> lsn
+
+(** Durable records, oldest first, with their LSNs: what recovery sees
+    after a crash. *)
+val durable_records : 'a t -> (lsn * 'a) list
+
+(** All records including the volatile tail (for tests). *)
+val all_records : 'a t -> (lsn * 'a) list
+
+(** Simulate the crash of the site: the volatile tail is lost. Called
+    by the cluster's crash hook. *)
+val crash : 'a t -> unit
+
+(** Completed [force] calls. *)
+val forces : 'a t -> int
+
+(** Physical disk writes performed (= [forces] without group commit;
+    fewer with). *)
+val disk_writes : 'a t -> int
+
+val group_commit : 'a t -> bool
+
+(** Enable/disable batching at runtime (the Figure 4 experiment knob). *)
+val set_group_commit : 'a t -> bool -> unit
+
+(** Block the calling fiber until the given LSN is durable (via anyone
+    else's force or the background flusher). This is how a subordinate
+    running the §3.2 optimized protocol learns its lazily-written
+    commit record has hit the disk and the commit-ack may go out. *)
+val wait_durable : 'a t -> lsn -> unit
+
+(** Spawn the disk manager's background flusher in the site's fiber
+    group: every [every] ms, if the volatile tail is non-empty and the
+    disk idle, write it out. Call again after a site restart. *)
+val start_flusher : 'a t -> every:float -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Camelot_analysis Camelot_core Camelot_mach Format Gen List Printf Protocol QCheck QCheck_alcotest Record State String Tid

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Camelot_core Camelot_experiments Camelot_sim Fig2 Fig3 Lazy List Printf Workload

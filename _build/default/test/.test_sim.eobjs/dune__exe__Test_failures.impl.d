@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Camelot Camelot_core Camelot_lock Camelot_mach Camelot_server Camelot_sim Camelot_wal Data_server Fiber List Option Protocol Rpc Site State Testutil Tid Tranman

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Camelot_lock Camelot_sim Engine Fiber Gen List Lock_table QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mach.ml: Alcotest Camelot_mach Camelot_sim Cost_model Engine Fiber Float List Printf Rng Rpc Site Thread_pool

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Camelot_mach Camelot_net Camelot_sim Cost_model Engine Lan List Printf Reliable Rng Site

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Camelot_sim Engine Fiber Gen Heap List Mailbox Option Printf QCheck QCheck_alcotest Rng Stats Sync Trace

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Camelot Camelot_core Camelot_lock Camelot_server Camelot_sim Camelot_wal Data_server Fiber List Protocol State Testutil Tid Tranman

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Camelot_mach Camelot_sim Camelot_wal Cost_model Engine Fiber List Log Printf Rng Site

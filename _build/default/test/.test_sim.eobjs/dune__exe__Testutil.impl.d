@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Camelot Camelot_core Camelot_mach Camelot_server Camelot_sim Camelot_wal Cost_model List Protocol Record State

@@ -1,0 +1,348 @@
+(* Tests for the lock manager: modes, FIFO fairness, upgrades,
+   timeouts, and Moss-model nested inheritance. *)
+
+open Camelot_sim
+open Camelot_lock
+
+(* Owners are (family, path) pairs; ancestry is path-prefix within the
+   same family — a miniature of Tid. *)
+type owner = { fam : int; path : int list }
+
+let o ?(fam = 1) path = { fam; path }
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let is_ancestor a b = a.fam = b.fam && is_prefix a.path b.path
+
+let make () =
+  let eng = Engine.create () in
+  (eng, Lock_table.create eng ~is_ancestor)
+
+let s = Lock_table.Shared
+let x = Lock_table.Exclusive
+
+let test_shared_compatible () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" s;
+      Lock_table.acquire t ~owner:(o ~fam:2 []) ~key:"k" s;
+      Alcotest.(check int) "two shared holders" 2
+        (List.length (Lock_table.holders t ~key:"k")))
+
+let test_exclusive_blocks () =
+  let eng, t = make () in
+  let got_lock_at = ref (-1.0) in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" x;
+      Fiber.sleep 50.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      Lock_table.acquire t ~owner:(o ~fam:2 []) ~key:"k" x;
+      got_lock_at := Fiber.now ());
+  Engine.run eng;
+  Alcotest.(check (float 1e-6)) "waited for release" 50.0 !got_lock_at
+
+let test_reader_blocks_writer_not_reader () =
+  let eng, t = make () in
+  let order = ref [] in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" s;
+      Fiber.sleep 30.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      Lock_table.acquire t ~owner:(o ~fam:2 []) ~key:"k" x;
+      order := ("writer", Fiber.now ()) :: !order;
+      Lock_table.release_all t ~owner:(o ~fam:2 []));
+  Engine.run eng;
+  match !order with
+  | [ ("writer", at) ] -> Alcotest.(check (float 1e-6)) "writer after reader" 30.0 at
+  | _ -> Alcotest.fail "unexpected order"
+
+let test_fifo_no_overtaking () =
+  (* a Shared request behind a queued Exclusive one must wait (no
+     starvation of writers) *)
+  let eng, t = make () in
+  let order = ref [] in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" s;
+      Fiber.sleep 20.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      Lock_table.acquire t ~owner:(o ~fam:2 []) ~key:"k" x;
+      order := "writer" :: !order;
+      Fiber.sleep 10.0;
+      Lock_table.release_all t ~owner:(o ~fam:2 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 2.0;
+      (* compatible with the original holder, but queued behind the writer *)
+      Lock_table.acquire t ~owner:(o ~fam:3 []) ~key:"k" s;
+      order := "late-reader" :: !order);
+  Engine.run eng;
+  Alcotest.(check (list string)) "FIFO" [ "writer"; "late-reader" ] (List.rev !order)
+
+let test_reacquire_noop () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      let me = o ~fam:1 [] in
+      Lock_table.acquire t ~owner:me ~key:"k" x;
+      Lock_table.acquire t ~owner:me ~key:"k" x;
+      Lock_table.acquire t ~owner:me ~key:"k" s;
+      (* X subsumes S *)
+      Alcotest.(check int) "one holder entry" 1
+        (List.length (Lock_table.holders t ~key:"k")));
+  Alcotest.(check int) "single grant" 1 (Lock_table.grants t)
+
+let test_upgrade () =
+  let eng, t = make () in
+  let upgraded_at = ref (-1.0) in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" s;
+      Fiber.sleep 25.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      let me = o ~fam:2 [] in
+      Lock_table.acquire t ~owner:me ~key:"k" s;
+      Fiber.sleep 1.0;
+      Lock_table.acquire t ~owner:me ~key:"k" x;
+      upgraded_at := Fiber.now ();
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "holds exclusive" (Some x)
+        (Lock_table.held t ~owner:me ~key:"k"));
+  Engine.run eng;
+  Alcotest.(check (float 1e-6)) "upgrade when other reader left" 25.0 !upgraded_at
+
+let test_timeout_gives_up () =
+  let eng, t = make () in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" x;
+      Fiber.sleep 1000.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  let granted = ref true in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      granted :=
+        Lock_table.acquire_timeout t ~owner:(o ~fam:2 []) ~key:"k" x ~timeout:50.0);
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" false !granted;
+  Alcotest.(check int) "abandoned request left no queue entry" 0
+    (Lock_table.queue_length t ~key:"k")
+
+let test_timeout_does_not_block_successor () =
+  (* an abandoned waiter must not stall those behind it *)
+  let eng, t = make () in
+  let late_got_at = ref (-1.0) in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" x;
+      Fiber.sleep 100.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      ignore
+        (Lock_table.acquire_timeout t ~owner:(o ~fam:2 []) ~key:"k" x ~timeout:20.0
+          : bool));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 2.0;
+      Lock_table.acquire t ~owner:(o ~fam:3 []) ~key:"k" x;
+      late_got_at := Fiber.now ());
+  Engine.run eng;
+  Alcotest.(check (float 1e-6)) "successor got lock at release" 100.0 !late_got_at
+
+let test_acquire_all_ordered_no_deadlock () =
+  (* two fibers take the same two locks in OPPOSITE request order: the
+     hierarchy discipline (ascending key) must prevent the deadlock *)
+  let eng, t = make () in
+  let completed = ref 0 in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire_all t ~owner:(o ~fam:1 []) [ ("a", x); ("b", x) ];
+      Fiber.sleep 10.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []);
+      incr completed);
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire_all t ~owner:(o ~fam:2 []) [ ("b", x); ("a", x) ];
+      Fiber.sleep 10.0;
+      Lock_table.release_all t ~owner:(o ~fam:2 []);
+      incr completed);
+  Engine.run eng;
+  Alcotest.(check int) "both completed (no deadlock)" 2 !completed
+
+let test_acquire_all_merges_duplicates () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      let me = o ~fam:1 [] in
+      Lock_table.acquire_all t ~owner:me [ ("k", s); ("k", x); ("j", s) ];
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "exclusive wins" (Some x)
+        (Lock_table.held t ~owner:me ~key:"k");
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "j shared" (Some s)
+        (Lock_table.held t ~owner:me ~key:"j"))
+
+let test_try_acquire () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      Alcotest.(check bool) "free" true
+        (Lock_table.try_acquire t ~owner:(o ~fam:1 []) ~key:"k" x);
+      Alcotest.(check bool) "held" false
+        (Lock_table.try_acquire t ~owner:(o ~fam:2 []) ~key:"k" s))
+
+(* --- nesting ------------------------------------------------------- *)
+
+let test_child_acquires_parent_lock () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      let parent = o [] and child = o [ 0 ] in
+      Lock_table.acquire t ~owner:parent ~key:"k" x;
+      (* Moss rule: every holder is an ancestor -> child may lock *)
+      Lock_table.acquire t ~owner:child ~key:"k" x;
+      Alcotest.(check int) "both hold" 2
+        (List.length (Lock_table.holders t ~key:"k")))
+
+let test_sibling_blocked_by_child_lock () =
+  let eng, t = make () in
+  let sibling_got_at = ref (-1.0) in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o [ 0 ]) ~key:"k" x;
+      Fiber.sleep 40.0;
+      Lock_table.release_all t ~owner:(o [ 0 ]));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      (* sibling [1] is not an ancestor of [0]: must wait *)
+      Lock_table.acquire t ~owner:(o [ 1 ]) ~key:"k" x;
+      sibling_got_at := Fiber.now ());
+  Engine.run eng;
+  Alcotest.(check (float 1e-6)) "sibling waited" 40.0 !sibling_got_at
+
+let test_unrelated_family_blocked_by_nested () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 [ 0 ]) ~key:"k" x;
+      Alcotest.(check bool) "other family cannot take it" false
+        (Lock_table.try_acquire t ~owner:(o ~fam:2 []) ~key:"k" x))
+
+let test_transfer_to_parent () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      let parent = o [] and child = o [ 0 ] in
+      Lock_table.acquire t ~owner:child ~key:"a" x;
+      Lock_table.acquire t ~owner:child ~key:"b" s;
+      Lock_table.transfer t ~from_:child ~to_:parent;
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "parent owns a" (Some x)
+        (Lock_table.held t ~owner:parent ~key:"a");
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "parent owns b" (Some s)
+        (Lock_table.held t ~owner:parent ~key:"b");
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "child owns nothing" None
+        (Lock_table.held t ~owner:child ~key:"a"))
+
+let test_transfer_merges_modes () =
+  let eng, t = make () in
+  Fiber.run eng (fun () ->
+      let parent = o [] and child = o [ 0 ] in
+      Lock_table.acquire t ~owner:parent ~key:"k" s;
+      Lock_table.acquire t ~owner:child ~key:"k" x;
+      Lock_table.transfer t ~from_:child ~to_:parent;
+      Alcotest.(check (option (of_pp Lock_table.pp_mode)))
+        "exclusive wins merge" (Some x)
+        (Lock_table.held t ~owner:parent ~key:"k"))
+
+let test_release_all_wakes_waiters () =
+  let eng, t = make () in
+  let woke = ref 0 in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"a" x;
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"b" x;
+      Fiber.sleep 10.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  List.iter
+    (fun key ->
+      Fiber.spawn eng (fun () ->
+          Fiber.sleep 1.0;
+          Lock_table.acquire t ~owner:(o ~fam:2 []) ~key x;
+          incr woke))
+    [ "a"; "b" ];
+  Engine.run eng;
+  Alcotest.(check int) "both waiters woken" 2 !woke
+
+(* --- properties ---------------------------------------------------- *)
+
+let prop_exclusive_never_shared_with_non_ancestor =
+  QCheck.Test.make ~name:"exclusive excludes non-ancestors" ~count:200
+    QCheck.(pair (list (int_bound 3)) (list (int_bound 3)))
+    (fun (p1, p2) ->
+      let eng = Engine.create () in
+      let t = Lock_table.create eng ~is_ancestor in
+      let a = o p1 and b = o p2 in
+      let result = ref true in
+      Fiber.spawn eng (fun () ->
+          Lock_table.acquire t ~owner:a ~key:"k" Lock_table.Exclusive;
+          let ok = Lock_table.try_acquire t ~owner:b ~key:"k" Lock_table.Exclusive in
+          let legal = is_ancestor a b || a = b in
+          result := ok = legal);
+      Engine.run eng;
+      !result)
+
+let prop_grants_monotone =
+  QCheck.Test.make ~name:"grants count monotone in acquisitions" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (int_bound 5) bool))
+    (fun requests ->
+      let eng = Engine.create () in
+      let t = Lock_table.create eng ~is_ancestor in
+      Fiber.spawn eng (fun () ->
+          List.iteri
+            (fun i (key, exclusive) ->
+              let mode = if exclusive then Lock_table.Exclusive else Lock_table.Shared in
+              ignore
+                (Lock_table.try_acquire t
+                   ~owner:(o ~fam:i [])
+                   ~key:(string_of_int key) mode
+                  : bool))
+            requests);
+      Engine.run eng;
+      Lock_table.grants t <= List.length requests)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "camelot_lock"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+          Alcotest.test_case "reader blocks writer" `Quick test_reader_blocks_writer_not_reader;
+          Alcotest.test_case "FIFO no overtaking" `Quick test_fifo_no_overtaking;
+          Alcotest.test_case "reacquire no-op" `Quick test_reacquire_noop;
+          Alcotest.test_case "shared->exclusive upgrade" `Quick test_upgrade;
+          Alcotest.test_case "hierarchy order prevents deadlock" `Quick
+            test_acquire_all_ordered_no_deadlock;
+          Alcotest.test_case "acquire_all merges duplicates" `Quick
+            test_acquire_all_merges_duplicates;
+          Alcotest.test_case "try_acquire" `Quick test_try_acquire;
+        ] );
+      ( "timeout",
+        [
+          Alcotest.test_case "gives up" `Quick test_timeout_gives_up;
+          Alcotest.test_case "abandoned waiter skipped" `Quick
+            test_timeout_does_not_block_successor;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "child under parent lock" `Quick test_child_acquires_parent_lock;
+          Alcotest.test_case "sibling blocked" `Quick test_sibling_blocked_by_child_lock;
+          Alcotest.test_case "other family blocked" `Quick test_unrelated_family_blocked_by_nested;
+          Alcotest.test_case "anti-inheritance transfer" `Quick test_transfer_to_parent;
+          Alcotest.test_case "transfer merges modes" `Quick test_transfer_merges_modes;
+          Alcotest.test_case "release_all wakes waiters" `Quick test_release_all_wakes_waiters;
+        ] )
+      ;
+      ("properties", qcheck [ prop_exclusive_never_shared_with_non_ancestor; prop_grants_monotone ]);
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the simulated Mach layer: cost models, sites,
+   crash/restart, thread pools, IPC/RPC. *)
+
+open Camelot_sim
+open Camelot_mach
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let make_site ?(model = Cost_model.rt) ?(id = 0) eng =
+  Site.create eng ~id ~model ~rng:(Rng.create ~seed:7)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model *)
+
+let test_rpc_legs_sum () =
+  let legs = Cost_model.rpc_legs Cost_model.rt in
+  let total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 legs in
+  check_float "legs sum to remote RPC" Cost_model.rt.Cost_model.remote_rpc_ms total
+
+let test_rt_constants () =
+  let m = Cost_model.rt in
+  check_float "local IPC" 1.5 m.Cost_model.local_ipc_ms;
+  check_float "log force" 15.0 m.Cost_model.log_force_ms;
+  check_float "datagram" 10.0 m.Cost_model.datagram_ms;
+  Alcotest.(check int) "uniprocessor" 1 m.Cost_model.cpus
+
+let test_vax_profile () =
+  let m = Cost_model.vax in
+  (* §4.5: the tested Mach had a single run queue on one master
+     processor — the model exposes one effective CPU *)
+  Alcotest.(check int) "single effective CPU" 1 m.Cost_model.cpus;
+  Alcotest.(check bool) "slower CPU" true
+    (m.Cost_model.tranman_cpu_ms > Cost_model.rt.Cost_model.tranman_cpu_ms);
+  Alcotest.(check bool) "slower logger" true
+    (m.Cost_model.log_force_ms > Cost_model.rt.Cost_model.log_force_ms);
+  Alcotest.(check bool) "heavy disk-manager CPU for updates" true
+    (m.Cost_model.log_spool_cpu_ms > 10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Site *)
+
+let test_site_crash_kills_fibers () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let progressed = ref false in
+  Site.spawn site (fun () ->
+      Fiber.sleep 100.0;
+      progressed := true);
+  Engine.schedule eng ~delay:10.0 (fun () -> Site.crash site);
+  Engine.run eng;
+  Alcotest.(check bool) "fiber died with site" false !progressed;
+  Alcotest.(check bool) "site down" false (Site.alive site)
+
+let test_site_restart_incarnation () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let hook_runs = ref 0 in
+  Site.on_restart site (fun () -> incr hook_runs);
+  Site.crash site;
+  Site.restart site;
+  Alcotest.(check int) "incarnation bumped" 1 (Site.incarnation site);
+  Alcotest.(check int) "hook ran" 1 !hook_runs;
+  Alcotest.(check bool) "alive again" true (Site.alive site)
+
+let test_site_restart_requires_crash () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  Alcotest.check_raises "restart of live site"
+    (Invalid_argument "Site.restart: site is alive") (fun () -> Site.restart site)
+
+let test_site_new_group_after_restart () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  Site.crash site;
+  Site.restart site;
+  let ran = ref false in
+  Site.spawn site (fun () -> ran := true);
+  Engine.run eng;
+  Alcotest.(check bool) "new incarnation fibers run" true !ran
+
+let test_cpu_multiprocessor_parallelism () =
+  let eng = Engine.create () in
+  let smp = { Cost_model.rt with Cost_model.cpus = 4 } in
+  let site = make_site ~model:smp eng in
+  (* 4 CPUs: 4 concurrent 10ms slices finish together at t=10 *)
+  let finish = ref 0.0 in
+  for _ = 1 to 4 do
+    Site.spawn site (fun () ->
+        Site.cpu_use site 10.0;
+        finish := Float.max !finish (Fiber.now ()))
+  done;
+  Engine.run eng;
+  check_float "4 slices in parallel" 10.0 !finish
+
+let test_cpu_uniprocessor_serializes () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let finish = ref 0.0 in
+  for _ = 1 to 3 do
+    Site.spawn site (fun () ->
+        Site.cpu_use site 10.0;
+        finish := Float.max !finish (Fiber.now ()))
+  done;
+  Engine.run eng;
+  check_float "3 slices serialized" 30.0 !finish
+
+(* ------------------------------------------------------------------ *)
+(* Thread pool *)
+
+let test_pool_limits_concurrency () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let pool = Thread_pool.create site ~threads:2 in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    Thread_pool.submit pool (fun () ->
+        incr active;
+        if !active > !peak then peak := !active;
+        Fiber.sleep 10.0;
+        decr active)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "at most 2 concurrent jobs" 2 !peak;
+  Alcotest.(check int) "all jobs done" 6 (Thread_pool.completed pool)
+
+let test_pool_worker_survives_exn () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let pool = Thread_pool.create site ~threads:1 in
+  let ok = ref false in
+  Thread_pool.submit pool (fun () -> failwith "job crash");
+  Thread_pool.submit pool (fun () -> ok := true);
+  Engine.run eng;
+  Alcotest.(check bool) "next job still runs" true !ok
+
+let test_pool_single_thread_blocks_queue () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let pool = Thread_pool.create site ~threads:1 in
+  let second_done_at = ref 0.0 in
+  Thread_pool.submit pool (fun () -> Fiber.sleep 50.0);
+  Thread_pool.submit pool (fun () -> second_done_at := Fiber.now ());
+  Engine.run eng;
+  check_float "second waited for first" 50.0 !second_done_at
+
+(* ------------------------------------------------------------------ *)
+(* RPC *)
+
+let two_sites () =
+  let eng = Engine.create () in
+  let a = make_site ~id:0 eng in
+  let b = make_site ~id:1 eng in
+  (eng, a, b)
+
+let test_rpc_local_cost () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let elapsed =
+    Fiber.run eng (fun () ->
+        let t0 = Fiber.now () in
+        let v = Rpc.call_local site (fun () -> 42) in
+        Alcotest.(check int) "result" 42 v;
+        Fiber.now () -. t0)
+  in
+  check_float "3ms IPC + 0.5ms server CPU" 3.5 elapsed
+
+let test_rpc_remote_cost_near_model () =
+  let eng, a, b = two_sites () in
+  let elapsed =
+    Fiber.run eng (fun () ->
+        let t0 = Fiber.now () in
+        let v = Rpc.call_remote ~client:a ~server:b (fun () -> 7) in
+        Alcotest.(check int) "result" 7 v;
+        Fiber.now () -. t0)
+  in
+  (* 28.5ms plus exponential jitter *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f in [28.5, 45]" elapsed)
+    true
+    (elapsed >= 28.5 && elapsed < 45.0)
+
+let test_rpc_accounting_sums () =
+  let eng, a, b = two_sites () in
+  Fiber.run eng (fun () ->
+      let t0 = Fiber.now () in
+      let (), legs = Rpc.call_remote_accounted ~client:a ~server:b (fun () -> ()) in
+      let total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 legs in
+      Alcotest.(check int) "five legs" 5 (List.length legs);
+      check_float "legs sum to elapsed" (Fiber.now () -. t0) total)
+
+let test_rpc_to_dead_site_fails () =
+  let eng, a, b = two_sites () in
+  Site.crash b;
+  let failed =
+    Fiber.run eng (fun () ->
+        match Rpc.call_remote ~client:a ~server:b (fun () -> ()) with
+        | () -> false
+        | exception Rpc.Rpc_failure { callee; _ } -> callee = 1)
+  in
+  Alcotest.(check bool) "Rpc_failure raised" true failed
+
+let test_rpc_server_crash_mid_call () =
+  let eng, a, b = two_sites () in
+  (* crash while the request is in flight *)
+  Engine.schedule eng ~delay:8.0 (fun () -> Site.crash b);
+  let failed =
+    Fiber.run eng (fun () ->
+        match Rpc.call_remote ~client:a ~server:b (fun () -> ()) with
+        | () -> false
+        | exception Rpc.Rpc_failure _ -> true)
+  in
+  Alcotest.(check bool) "fails when server dies mid-call" true failed
+
+let () =
+  Alcotest.run "camelot_mach"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "RPC legs sum (§4.1)" `Quick test_rpc_legs_sum;
+          Alcotest.test_case "RT constants (Tables 1-2)" `Quick test_rt_constants;
+          Alcotest.test_case "VAX profile" `Quick test_vax_profile;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "crash kills fibers" `Quick test_site_crash_kills_fibers;
+          Alcotest.test_case "restart bumps incarnation" `Quick test_site_restart_incarnation;
+          Alcotest.test_case "restart requires crash" `Quick test_site_restart_requires_crash;
+          Alcotest.test_case "new group after restart" `Quick test_site_new_group_after_restart;
+          Alcotest.test_case "SMP parallel CPU" `Quick test_cpu_multiprocessor_parallelism;
+          Alcotest.test_case "uniprocessor serializes" `Quick test_cpu_uniprocessor_serializes;
+        ] );
+      ( "thread_pool",
+        [
+          Alcotest.test_case "limits concurrency" `Quick test_pool_limits_concurrency;
+          Alcotest.test_case "worker survives exception" `Quick test_pool_worker_survives_exn;
+          Alcotest.test_case "single thread serializes" `Quick test_pool_single_thread_blocks_queue;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "local call cost" `Quick test_rpc_local_cost;
+          Alcotest.test_case "remote call near 28.5ms" `Quick test_rpc_remote_cost_near_model;
+          Alcotest.test_case "per-leg accounting" `Quick test_rpc_accounting_sums;
+          Alcotest.test_case "dead callee fails" `Quick test_rpc_to_dead_site_fails;
+          Alcotest.test_case "mid-call crash fails" `Quick test_rpc_server_crash_mid_call;
+        ] );
+    ]

@@ -1,0 +1,385 @@
+(* Property-based protocol safety tests: atomicity, serializability and
+   crash-consistency invariants under randomized workloads, vetoes,
+   crash timings and partitions. Each property builds a fresh seeded
+   cluster, so failures shrink to a reproducible scenario. *)
+
+open Camelot_sim
+open Camelot_core
+open Camelot_server
+open Testutil
+
+(* --- serializability on one site ----------------------------------- *)
+
+(* N clients each run M increment-transactions against one counter,
+   randomly aborting some: the final committed value must equal the
+   number of commits (no lost or phantom updates). *)
+let prop_serializable_counter =
+  QCheck.Test.make ~name:"single-site increments serialize exactly" ~count:20
+    QCheck.(triple (int_range 1 4) (int_range 1 6) int)
+    (fun (clients, per_client, seed) ->
+      let c =
+        Camelot.Cluster.create ~seed:(abs seed + 1) ~model:quiet_model
+          ~config:(fast_config ()) ~sites:1 ()
+      in
+      let tm = Camelot.Cluster.tranman c 0 in
+      let rng = Rng.create ~seed:(abs seed + 2) in
+      let committed = ref 0 in
+      let finished = ref 0 in
+      for _ = 1 to clients do
+        Fiber.spawn (Camelot.Cluster.engine c) (fun () ->
+            for _ = 1 to per_client do
+              let tid = Tranman.begin_transaction tm in
+              ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Add ("n", 1)) : int);
+              if Rng.bool rng ~p:0.3 then Tranman.abort tm tid
+              else
+                match Tranman.commit tm tid with
+                | Protocol.Committed -> incr committed
+                | Protocol.Aborted -> ()
+            done;
+            incr finished)
+      done;
+      Camelot.Cluster.run ~until:120_000.0 c;
+      !finished = clients && peek c 0 "n" = !committed)
+
+(* --- distributed atomicity under random vetoes ---------------------- *)
+
+(* every transaction increments a counter at BOTH sites; some are
+   vetoed at a random site. All-or-nothing means the two counters stay
+   equal forever, and equal to the commit count. *)
+let prop_distributed_atomicity =
+  QCheck.Test.make ~name:"2PC all-or-nothing under random vetoes" ~count:15
+    QCheck.(pair (int_range 3 10) int)
+    (fun (txns, seed) ->
+      let c =
+        Camelot.Cluster.create ~seed:(abs seed + 3) ~model:quiet_model
+          ~config:(fast_config ()) ~sites:2 ()
+      in
+      let tm = Camelot.Cluster.tranman c 0 in
+      let rng = Rng.create ~seed:(abs seed + 4) in
+      let committed = ref 0 in
+      let all_done = ref false in
+      Fiber.spawn (Camelot.Cluster.engine c) (fun () ->
+          for _ = 1 to txns do
+            let tid = Tranman.begin_transaction tm in
+            ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Add ("n", 1)) : int);
+            ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Add ("n", 1)) : int);
+            if Rng.bool rng ~p:0.4 then
+              Data_server.veto_next (Camelot.Cluster.server c (Rng.int_below rng 2)) tid;
+            match Tranman.commit tm tid with
+            | Protocol.Committed -> incr committed
+            | Protocol.Aborted -> ()
+          done;
+          all_done := true);
+      Camelot.Cluster.run ~until:120_000.0 c;
+      !all_done
+      && peek c 0 "n" = !committed
+      && peek c 1 "n" = !committed)
+
+(* --- consistency across a coordinator crash at arbitrary times ------ *)
+
+(* one distributed update; the coordinator crashes after a random delay
+   and restarts later. Whatever happened, after recovery settles no two
+   sites may disagree: either every participant applied the update or
+   none did. *)
+let crash_consistency ~protocol (delay, seed) =
+  let c =
+    Camelot.Cluster.create ~seed:(abs seed + 5) ~model:quiet_model
+      ~config:(fast_config ()) ~sites:3 ()
+  in
+  let result = ref None in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Camelot_mach.Site.spawn (Camelot.Cluster.node c 0).Camelot.Cluster.site
+    (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Write ("v", 7)) : int);
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:2 (Data_server.Write ("w", 7)) : int);
+      result := Some (Tranman.commit tm ~protocol tid));
+  Engine.schedule (Camelot.Cluster.engine c) ~delay (fun () ->
+      if Camelot_mach.Site.alive (Camelot.Cluster.node c 0).Camelot.Cluster.site
+      then Camelot.Cluster.crash_site c 0);
+  Engine.schedule (Camelot.Cluster.engine c) ~delay:(delay +. 3000.0) (fun () ->
+      ignore (Camelot.Cluster.restart_site c 0 : Tid.t list));
+  Camelot.Cluster.run ~until:60_000.0 c;
+  let v = peek c 1 "v" and w = peek c 2 "w" in
+  let consistent = (v = 7 && w = 7) || (v = 0 && w = 0) in
+  (* and no site may be left holding the transaction's locks *)
+  let locks_free site key =
+    Camelot_lock.Lock_table.holders (Data_server.locks (Camelot.Cluster.server c site)) ~key
+    = []
+  in
+  consistent && locks_free 1 "v" && locks_free 2 "w"
+
+let crash_args =
+  (* delays spanning operation, voting, decision and notification *)
+  QCheck.(pair (float_range 1.0 400.0) int)
+
+let prop_2pc_crash_consistency =
+  QCheck.Test.make ~name:"2PC consistent across coordinator crash+recovery"
+    ~count:15 crash_args
+    (crash_consistency ~protocol:Protocol.Two_phase)
+
+let prop_nb_crash_consistency =
+  QCheck.Test.make
+    ~name:"non-blocking consistent across coordinator crash+recovery"
+    ~count:15 crash_args
+    (crash_consistency ~protocol:Protocol.Nonblocking)
+
+(* --- consistency across a partition at arbitrary times -------------- *)
+
+let partition_consistency ~protocol (delay, seed) =
+  let c =
+    Camelot.Cluster.create ~seed:(abs seed + 6) ~model:quiet_model
+      ~config:(fast_config ()) ~sites:3 ()
+  in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let result = ref None in
+  Camelot_mach.Site.spawn (Camelot.Cluster.node c 0).Camelot.Cluster.site
+    (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Write ("v", 7)) : int);
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:2 (Data_server.Write ("w", 7)) : int);
+      result := Some (Tranman.commit tm ~protocol tid));
+  Engine.schedule (Camelot.Cluster.engine c) ~delay (fun () ->
+      Camelot.Cluster.partition c [ [ 0 ]; [ 1; 2 ] ]);
+  Engine.schedule (Camelot.Cluster.engine c) ~delay:(delay +. 4000.0) (fun () ->
+      Camelot.Cluster.heal c);
+  Camelot.Cluster.run ~until:60_000.0 c;
+  let v = peek c 1 "v" and w = peek c 2 "w" in
+  let outcome_matches =
+    match !result with
+    | Some Protocol.Committed -> v = 7 && w = 7
+    | Some Protocol.Aborted -> v = 0 && w = 0
+    | None -> false (* the commit call must return once healed *)
+  in
+  outcome_matches
+
+let prop_2pc_partition_consistency =
+  QCheck.Test.make ~name:"2PC consistent across partition+heal" ~count:15
+    crash_args
+    (partition_consistency ~protocol:Protocol.Two_phase)
+
+let prop_nb_partition_consistency =
+  QCheck.Test.make ~name:"non-blocking consistent across partition+heal"
+    ~count:15 crash_args
+    (partition_consistency ~protocol:Protocol.Nonblocking)
+
+(* --- nested transaction trees --------------------------------------- *)
+
+(* Build a random subtransaction tree; every node increments a counter
+   once, possibly at a remote site; every subtransaction then commits
+   or aborts at random (children resolved before parents). An
+   increment survives iff its node and every ancestor up to the root
+   committed — the Moss visibility rule, checked exactly. *)
+type plan = { p_commits : bool; p_site : int; p_children : plan list }
+
+let plan_gen =
+  let open QCheck.Gen in
+  sized_size (int_range 1 12) @@ fix (fun self budget ->
+      let node c =
+        let* commits = bool in
+        let* site = int_range 0 1 in
+        let+ children = c in
+        { p_commits = commits; p_site = site; p_children = children }
+      in
+      if budget <= 1 then node (return [])
+      else
+        let* n_children = int_range 0 (min 3 (budget - 1)) in
+        node (list_repeat n_children (self ((budget - 1) / max 1 n_children))))
+
+let rec expected_increments ~alive plan =
+  let self = if alive && plan.p_commits then 1 else 0 in
+  let alive = alive && plan.p_commits in
+  List.fold_left
+    (fun acc child -> acc + expected_increments ~alive child)
+    self plan.p_children
+
+let prop_nested_tree_visibility =
+  QCheck.Test.make ~name:"nested trees: Moss visibility rule" ~count:20
+    (QCheck.make ~print:(fun _ -> "<plan>") plan_gen)
+    (fun plan ->
+      let c =
+        Camelot.Cluster.create ~seed:31 ~model:quiet_model
+          ~config:(fast_config ()) ~sites:2 ()
+      in
+      let tm = Camelot.Cluster.tranman c 0 in
+      let finished = ref false in
+      Fiber.spawn (Camelot.Cluster.engine c) (fun () ->
+          let root = Tranman.begin_transaction tm in
+          let rec run parent plan =
+            let tid = Tranman.begin_nested tm ~parent in
+            ignore
+              (Camelot.Cluster.op c ~origin:0 tid ~site:plan.p_site
+                 (Data_server.Add ("n", 1))
+                : int);
+            List.iter (run tid) plan.p_children;
+            (* children resolve before their parent *)
+            if plan.p_commits then ignore (Tranman.commit tm tid : Protocol.outcome)
+            else Tranman.abort tm tid;
+            (* let remote Child_finish datagrams land before the next
+               sibling touches the same objects *)
+            Fiber.sleep 50.0
+          in
+          run root plan;
+          (match Tranman.commit tm root with
+          | Protocol.Committed -> ()
+          | Protocol.Aborted -> failwith "root aborted unexpectedly");
+          finished := true);
+      Camelot.Cluster.run ~until:300_000.0 c;
+      let expected = expected_increments ~alive:true plan in
+      !finished && peek c 0 "n" + peek c 1 "n" = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic commit (LU 6.2, paper §5) *)
+
+let test_heuristic_frees_blocked_subordinate () =
+  let c = quiet_cluster ~sites:2 () in
+  let result, tid_cell = (ref None, ref None) in
+  let tm0 = Camelot.Cluster.tranman c 0 in
+  Camelot_mach.Site.spawn (Camelot.Cluster.node c 0).Camelot.Cluster.site
+    (fun () ->
+      let tid = Tranman.begin_transaction tm0 in
+      tid_cell := Some tid;
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Write ("k", 5)) : int);
+      result := Some (Tranman.commit tm0 tid));
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      wait_until ~what:"sub prepared" (fun () -> has_record c 1 is_prepare);
+      (* isolate the subordinate: it is now blocked, holding the lock *)
+      Camelot.Cluster.partition c [ [ 0 ]; [ 1 ] ];
+      Fiber.sleep 300.0;
+      let tm1 = Camelot.Cluster.tranman c 1 in
+      let tid = Option.get !tid_cell in
+      Alcotest.check status_testable "blocked prepared" Protocol.St_prepared
+        (Tranman.status tm1 tid);
+      (* the operator resolves it by decree *)
+      let o = Tranman.heuristic_resolve tm1 tid Protocol.Committed in
+      check_committed o;
+      Alcotest.(check int) "value applied now" 5 (peek c 1 "k");
+      Alcotest.(check int) "locks freed now" 0
+        (List.length
+           (Camelot_lock.Lock_table.holders
+              (Data_server.locks (Camelot.Cluster.server c 1))
+              ~key:"k"));
+      Alcotest.(check int) "counted" 1 (Tranman.stats tm1).State.n_heuristic)
+
+let test_heuristic_damage_detected () =
+  let c = quiet_cluster ~sites:2 () in
+  let result, tid_cell = (ref None, ref None) in
+  let tm0 = Camelot.Cluster.tranman c 0 in
+  Camelot_mach.Site.spawn (Camelot.Cluster.node c 0).Camelot.Cluster.site
+    (fun () ->
+      let tid = Tranman.begin_transaction tm0 in
+      tid_cell := Some tid;
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Write ("k", 5)) : int);
+      result := Some (Tranman.commit tm0 tid));
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      wait_until ~what:"sub prepared" (fun () -> has_record c 1 is_prepare);
+      Camelot.Cluster.partition c [ [ 0 ]; [ 1 ] ];
+      (* the coordinator commits on its side (the vote was in flight
+         before the cut? ensure: wait for its decision or abort) *)
+      wait_until ~what:"coordinator decided" (fun () -> !result <> None);
+      let tm1 = Camelot.Cluster.tranman c 1 in
+      let tid = Option.get !tid_cell in
+      (* the operator guesses the opposite of the real outcome *)
+      let wrong =
+        match !result with
+        | Some Protocol.Committed -> Protocol.Aborted
+        | Some Protocol.Aborted | None -> Protocol.Committed
+      in
+      ignore (Tranman.heuristic_resolve tm1 tid wrong : Protocol.outcome);
+      Camelot.Cluster.heal c;
+      (* the real outcome eventually reaches the subordinate and the
+         contradiction is detected *)
+      Fiber.sleep 3000.0;
+      match !result with
+      | Some Protocol.Committed ->
+          Alcotest.(check bool) "damage counted" true
+            ((Tranman.stats tm1).State.n_heuristic_damage >= 1)
+      | Some Protocol.Aborted | None ->
+          (* aborts are never re-announced under presumed abort, so a
+             wrong heuristic commit at the sub is only detectable by
+             inquiry; accept either counter here *)
+          Alcotest.(check bool) "heuristic recorded" true
+            ((Tranman.stats tm1).State.n_heuristic >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Orphan abort (the §2 abort-protocol rule) *)
+
+let test_orphan_locks_eventually_freed () =
+  let c = quiet_cluster ~sites:2 () in
+  Camelot.Cluster.each_config c (fun cfg -> cfg.State.orphan_timeout_ms <- 300.0);
+  let tm0 = Camelot.Cluster.tranman c 0 in
+  Camelot_mach.Site.spawn (Camelot.Cluster.node c 0).Camelot.Cluster.site
+    (fun () ->
+      let tid = Tranman.begin_transaction tm0 in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Write ("k", 9)) : int);
+      (* the client site dies before ever committing *)
+      Fiber.sleep 10.0;
+      Camelot.Cluster.crash_site c 0);
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      wait_until ~what:"orphan update at sub" (fun () -> has_record c 1 is_update);
+      wait_until ~what:"client dead" (fun () ->
+          not (Camelot_mach.Site.alive (Camelot.Cluster.node c 0).Camelot.Cluster.site));
+      (* restart the client site: its TranMan no longer knows the
+         transaction, so the subordinate's orphan inquiry presumes abort *)
+      Fiber.sleep 100.0;
+      ignore (Camelot.Cluster.restart_site c 0 : Tid.t list);
+      wait_until ~what:"orphan undone and unlocked" (fun () ->
+          peek c 1 "k" = 0
+          && Camelot_lock.Lock_table.holders
+               (Data_server.locks (Camelot.Cluster.server c 1))
+               ~key:"k"
+             = []))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_snapshot () =
+  let c = quiet_cluster ~sites:2 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:1 (Data_server.Add ("x", 1)) : int);
+      check_committed (Tranman.commit tm tid));
+  settle c 2000.0;
+  let m = Camelot.Metrics.collect c in
+  Alcotest.(check int) "two sites" 2 (List.length m.Camelot.Metrics.sites);
+  let s0 = List.nth m.Camelot.Metrics.sites 0 in
+  Alcotest.(check int) "one begun" 1 s0.Camelot.Metrics.begun;
+  Alcotest.(check int) "one committed" 1 s0.Camelot.Metrics.committed;
+  Alcotest.(check int) "one distributed" 1 s0.Camelot.Metrics.distributed;
+  Alcotest.(check bool) "datagrams flowed" true (m.Camelot.Metrics.datagrams_sent > 0);
+  Alcotest.(check bool) "cpu was used" true (s0.Camelot.Metrics.cpu_busy_ms > 0.0);
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" Camelot.Metrics.pp m) > 0)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "camelot_properties"
+    [
+      ( "safety",
+        qcheck
+          [
+            prop_serializable_counter;
+            prop_distributed_atomicity;
+            prop_2pc_crash_consistency;
+            prop_nb_crash_consistency;
+            prop_2pc_partition_consistency;
+            prop_nb_partition_consistency;
+            prop_nested_tree_visibility;
+          ] );
+      ( "heuristic_commit",
+        [
+          Alcotest.test_case "frees a blocked subordinate" `Quick
+            test_heuristic_frees_blocked_subordinate;
+          Alcotest.test_case "damage detected on contradiction" `Quick
+            test_heuristic_damage_detected;
+        ] );
+      ( "orphan_abort",
+        [
+          Alcotest.test_case "orphan locks eventually freed" `Quick
+            test_orphan_locks_eventually_freed;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "cluster snapshot" `Quick test_metrics_snapshot ] );
+    ]

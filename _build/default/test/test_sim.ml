@@ -1,0 +1,588 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Camelot_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iteri
+    (fun i p -> Heap.push h ~priority:p ~seq:i p)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] popped
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i v -> Heap.push h ~priority:1.0 ~seq:i v) [ "a"; "b"; "c" ];
+  let popped = List.init 3 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] popped
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (float 1e-9))) "no peek" None (Heap.peek_priority h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1.0 ~seq:0 ();
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun floats ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p ~seq:i p) floats;
+      let popped = List.init (List.length floats) (fun _ -> Option.get (Heap.pop h)) in
+      popped = List.sort compare floats)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_time_ordering () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  Engine.schedule eng ~delay:5.0 (fun () -> order := 5 :: !order);
+  Engine.schedule eng ~delay:1.0 (fun () -> order := 1 :: !order);
+  Engine.schedule eng ~delay:3.0 (fun () -> order := 3 :: !order);
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !order);
+  check_float "clock at last event" 5.0 (Engine.now eng)
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule eng ~delay:1.0 (fun () -> incr ran);
+  Engine.schedule eng ~delay:10.0 (fun () -> incr ran);
+  Engine.run ~until:5.0 eng;
+  Alcotest.(check int) "only first ran" 1 !ran;
+  check_float "clock advanced to limit" 5.0 (Engine.now eng);
+  Alcotest.(check int) "one pending" 1 (Engine.pending eng)
+
+let test_engine_nested_schedule () =
+  let eng = Engine.create () in
+  let finish = ref 0.0 in
+  Engine.schedule eng ~delay:2.0 (fun () ->
+      Engine.schedule eng ~delay:3.0 (fun () -> finish := Engine.now eng));
+  Engine.run eng;
+  check_float "relative delay" 5.0 !finish
+
+let test_engine_negative_delay () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule eng ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_schedule_at_past_clamps () =
+  let eng = Engine.create () in
+  let ran_at = ref (-1.0) in
+  Engine.schedule eng ~delay:10.0 (fun () ->
+      (* scheduling into the past runs at the current time instead *)
+      Engine.schedule_at eng ~time:3.0 (fun () -> ran_at := Engine.now eng));
+  Engine.run eng;
+  check_float "clamped to now" 10.0 !ran_at
+
+let test_engine_executed_counter () =
+  let eng = Engine.create () in
+  for i = 1 to 5 do
+    Engine.schedule eng ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "five events executed" 5 (Engine.executed eng)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber *)
+
+let test_fiber_sleep () =
+  let eng = Engine.create () in
+  let result =
+    Fiber.run eng (fun () ->
+        Fiber.sleep 10.0;
+        Fiber.sleep 5.0;
+        Fiber.now ())
+  in
+  check_float "slept 15ms" 15.0 result
+
+let test_fiber_interleaving () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      log := "a1" :: !log;
+      Fiber.sleep 2.0;
+      log := "a2" :: !log);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 2.0;
+      log := "b1" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2" ] (List.rev !log)
+
+let test_fiber_group_kill () =
+  let eng = Engine.create () in
+  let group = Fiber.Group.create () in
+  let progressed = ref false in
+  let cancelled = ref false in
+  Fiber.spawn eng ~group (fun () ->
+      (try Fiber.sleep 100.0 with
+      | Fiber.Cancelled as e ->
+          cancelled := true;
+          raise e);
+      progressed := true);
+  Engine.schedule eng ~delay:10.0 (fun () -> Fiber.Group.kill group);
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled" true !cancelled;
+  Alcotest.(check bool) "did not progress" false !progressed
+
+let test_fiber_group_kill_prevents_start () =
+  let eng = Engine.create () in
+  let group = Fiber.Group.create () in
+  let started = ref false in
+  Fiber.Group.kill group;
+  Fiber.spawn eng ~group (fun () -> started := true);
+  Engine.run eng;
+  Alcotest.(check bool) "not started" false !started
+
+let test_fiber_exception_isolated () =
+  let eng = Engine.create () in
+  let seen = ref None in
+  Fiber.spawn eng ~on_exn:(fun e -> seen := Some e) (fun () -> failwith "boom");
+  Fiber.spawn eng (fun () -> Fiber.sleep 1.0);
+  Engine.run eng;
+  match !seen with
+  | Some (Failure msg) -> Alcotest.(check string) "exn captured" "boom" msg
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_fiber_run_deadlock () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "deadlock detected"
+    (Failure "Fiber.run: main fiber blocked forever (deadlock)") (fun () ->
+      Fiber.run eng (fun () -> Fiber.suspend (fun (_ : unit Fiber.resumer) -> ())))
+
+let test_fiber_suspend_resume () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  Engine.schedule eng ~delay:7.0 (fun () ->
+      match !resumer with Some r -> Fiber.resume r (Ok 42) | None -> ());
+  let result =
+    Fiber.run eng (fun () -> Fiber.suspend (fun r -> resumer := Some r))
+  in
+  Alcotest.(check int) "resumed with value" 42 result
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let received = ref [] in
+  Fiber.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        received := Mailbox.recv mb :: !received
+      done);
+  Fiber.spawn eng (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Fiber.sleep 5.0;
+      Mailbox.send mb 3);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_timeout_expires () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  let result =
+    Fiber.run eng (fun () ->
+        let r = Mailbox.recv_timeout mb 10.0 in
+        (r, Fiber.now ()))
+  in
+  Alcotest.(check (option int)) "timed out" None (fst result);
+  check_float "waited full timeout" 10.0 (snd result)
+
+let test_mailbox_timeout_delivery () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  Engine.schedule eng ~delay:3.0 (fun () -> Mailbox.send mb "hi");
+  let result = Fiber.run eng (fun () -> Mailbox.recv_timeout mb 10.0) in
+  Alcotest.(check (option string)) "delivered" (Some "hi") result
+
+let test_mailbox_timeout_then_send_queues () =
+  (* After a receive times out, a later send must queue the message, not
+     deliver it to the dead waiter. *)
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let outcome =
+    Fiber.run eng (fun () ->
+        let first = Mailbox.recv_timeout mb 5.0 in
+        Mailbox.send mb 99;
+        (first, Mailbox.try_recv mb))
+  in
+  Alcotest.(check (pair (option int) (option int)))
+    "message queued after timeout" (None, Some 99) outcome
+
+let test_mailbox_waiters_count () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  Fiber.spawn eng (fun () -> ignore (Mailbox.recv mb : int));
+  Fiber.spawn eng (fun () -> ignore (Mailbox.recv mb : int));
+  Engine.run ~until:1.0 eng;
+  Alcotest.(check int) "two waiters" 2 (Mailbox.waiters mb);
+  Mailbox.send mb 0;
+  Engine.run ~until:2.0 eng;
+  Alcotest.(check int) "one waiter" 1 (Mailbox.waiters mb)
+
+(* ------------------------------------------------------------------ *)
+(* Sync *)
+
+let test_mutex_exclusion () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create () in
+  let log = ref [] in
+  let worker name =
+    Fiber.spawn eng (fun () ->
+        Sync.Mutex.lock m;
+        log := (name ^ ":in") :: !log;
+        Fiber.sleep 10.0;
+        log := (name ^ ":out") :: !log;
+        Sync.Mutex.unlock m)
+  in
+  worker "a";
+  worker "b";
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "critical sections do not overlap"
+    [ "a:in"; "a:out"; "b:in"; "b:out" ]
+    (List.rev !log)
+
+let test_mutex_unlock_unlocked () =
+  let m = Sync.Mutex.create () in
+  Alcotest.check_raises "unlock unheld"
+    (Invalid_argument "Sync.Mutex.unlock: not locked") (fun () ->
+      Sync.Mutex.unlock m)
+
+let test_condition_signal () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create () in
+  let c = Sync.Condition.create eng in
+  let ready = ref false in
+  let woke_at = ref 0.0 in
+  Fiber.spawn eng (fun () ->
+      Sync.Mutex.lock m;
+      while not !ready do
+        Sync.Condition.wait c m
+      done;
+      woke_at := Fiber.now ();
+      Sync.Mutex.unlock m);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 25.0;
+      Sync.Mutex.lock m;
+      ready := true;
+      Sync.Condition.signal c;
+      Sync.Mutex.unlock m);
+  Engine.run eng;
+  check_float "woke after signal" 25.0 !woke_at
+
+let test_condition_broadcast () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create () in
+  let c = Sync.Condition.create eng in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        Sync.Mutex.lock m;
+        Sync.Condition.wait c m;
+        incr woken;
+        Sync.Mutex.unlock m)
+  done;
+  Engine.schedule eng ~delay:5.0 (fun () -> Sync.Condition.broadcast c);
+  Engine.run eng;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_semaphore_limits () =
+  let eng = Engine.create () in
+  let sem = Sync.Semaphore.create 2 in
+  let active = ref 0 in
+  let max_active = ref 0 in
+  for _ = 1 to 5 do
+    Fiber.spawn eng (fun () ->
+        Sync.Semaphore.acquire sem;
+        incr active;
+        if !active > !max_active then max_active := !active;
+        Fiber.sleep 10.0;
+        decr active;
+        Sync.Semaphore.release sem)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "at most 2 concurrent" 2 !max_active
+
+let test_resource_fcfs () =
+  let eng = Engine.create () in
+  let r = Sync.Resource.create eng ~name:"disk" in
+  let waits = ref [] in
+  for _ = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        let waited = Sync.Resource.use r ~duration:15.0 in
+        waits := waited :: !waits)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9)))
+    "queueing delays" [ 0.0; 15.0; 30.0 ]
+    (List.sort compare !waits);
+  check_float "busy time" 45.0 (Sync.Resource.busy_time r);
+  Alcotest.(check int) "completions" 3 (Sync.Resource.completions r)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 in
+  let b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.uniform a) (Rng.uniform b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xa = Rng.uniform a and xb = Rng.uniform b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let prop_rng_uniform_bounds =
+  QCheck.Test.make ~name:"uniform in [0,1)" ~count:1000 QCheck.int (fun seed ->
+      let rng = Rng.create ~seed in
+      let x = Rng.uniform rng in
+      x >= 0.0 && x < 1.0)
+
+let prop_rng_int_below =
+  QCheck.Test.make ~name:"int_below in range" ~count:500
+    QCheck.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.int_below rng bound in
+      x >= 0 && x < bound)
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential non-negative" ~count:500 QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      Rng.exponential rng ~mean:10.0 >= 0.0)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:1 in
+  let acc = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:10.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (abs_float (mean -. 10.0) < 0.5)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:2 in
+  let stats = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add stats (Rng.gaussian rng ~mu:5.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 5" true (abs_float (Stats.mean stats -. 5.0) < 0.1);
+  Alcotest.(check bool) "sd near 2" true (abs_float (Stats.stddev stats -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s);
+  check_float "total" 10.0 (Stats.total s);
+  Alcotest.(check int) "count" 4 (Stats.count s)
+
+let test_stats_variance () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "sample variance" (32.0 /. 7.0) (Stats.variance s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0; 40.0 ];
+  check_float "median interpolated" 25.0 (Stats.median s);
+  check_float "p0 is min" 10.0 (Stats.percentile s 0.0);
+  check_float "p100 is max" 40.0 (Stats.percentile s 100.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0.0 (Stats.mean s);
+  check_float "variance of empty" 0.0 (Stats.variance s);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile s 50.0 : float))
+
+let test_stats_histogram () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 9.0; 10.0 ];
+  let bins = Stats.histogram s ~buckets:2 in
+  (match bins with
+  | [ (lo1, hi1, n1); (_, hi2, n2) ] ->
+      check_float "first bin starts at min" 0.0 lo1;
+      check_float "split at midpoint" 5.0 hi1;
+      check_float "last bin ends at max" 10.0 hi2;
+      Alcotest.(check (pair int int)) "counts (max in last bin)" (5, 3) (n1, n2)
+  | _ -> Alcotest.fail "expected 2 bins");
+  Alcotest.check_raises "empty histogram" (Invalid_argument "Stats.histogram: empty")
+    (fun () -> ignore (Stats.histogram (Stats.create ()) ~buckets:4))
+
+let prop_stats_histogram_counts_all =
+  QCheck.Test.make ~name:"histogram bins sum to sample count" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 60) (float_bound_inclusive 50.0))
+              (int_range 1 12))
+    (fun (floats, buckets) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) floats;
+      let total =
+        List.fold_left (fun acc (_, _, n) -> acc + n) 0 (Stats.histogram s ~buckets)
+      in
+      total = List.length floats)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 100.0))
+    (fun floats ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) floats;
+      Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+let prop_stats_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_inclusive 100.0))
+    (fun floats ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) floats;
+      Stats.percentile s 25.0 <= Stats.percentile s 75.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_records () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~capacity:8 () in
+  Engine.schedule eng ~delay:5.0 (fun () -> Trace.record tr eng ~tag:"x" "event %d" 1);
+  Engine.run eng;
+  match Trace.dump tr with
+  | [ r ] ->
+      check_float "timestamp" 5.0 r.Trace.time;
+      Alcotest.(check string) "tag" "x" r.Trace.tag;
+      Alcotest.(check string) "message" "event 1" r.Trace.message
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length l))
+
+let test_trace_ring_overflow () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record tr eng ~tag:"t" "%d" i
+  done;
+  let messages = List.map (fun r -> r.Trace.message) (Trace.dump tr) in
+  Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ] messages
+
+let test_trace_disabled () =
+  let eng = Engine.create () in
+  let tr = Trace.create () in
+  Trace.set_enabled tr false;
+  Trace.record tr eng ~tag:"t" "dropped";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.dump tr))
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "camelot_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pops in priority order" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty heap" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ]
+        @ qcheck [ prop_heap_sorts ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
+          Alcotest.test_case "schedule_at clamps past times" `Quick
+            test_engine_schedule_at_past_clamps;
+          Alcotest.test_case "executed counter" `Quick test_engine_executed_counter;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep advances clock" `Quick test_fiber_sleep;
+          Alcotest.test_case "interleaving" `Quick test_fiber_interleaving;
+          Alcotest.test_case "group kill cancels" `Quick test_fiber_group_kill;
+          Alcotest.test_case "kill prevents start" `Quick test_fiber_group_kill_prevents_start;
+          Alcotest.test_case "exception isolated" `Quick test_fiber_exception_isolated;
+          Alcotest.test_case "deadlock detected" `Quick test_fiber_run_deadlock;
+          Alcotest.test_case "suspend/resume" `Quick test_fiber_suspend_resume;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "FIFO delivery" `Quick test_mailbox_fifo;
+          Alcotest.test_case "timeout expires" `Quick test_mailbox_timeout_expires;
+          Alcotest.test_case "delivery before timeout" `Quick test_mailbox_timeout_delivery;
+          Alcotest.test_case "send after timeout queues" `Quick test_mailbox_timeout_then_send_queues;
+          Alcotest.test_case "waiter count" `Quick test_mailbox_waiters_count;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+          Alcotest.test_case "unlock unheld rejected" `Quick test_mutex_unlock_unlocked;
+          Alcotest.test_case "condition signal" `Quick test_condition_signal;
+          Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+          Alcotest.test_case "semaphore limits concurrency" `Quick test_semaphore_limits;
+          Alcotest.test_case "resource FCFS with durations" `Quick test_resource_fcfs;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle is permutation" `Quick test_rng_shuffle_permutation;
+        ]
+        @ qcheck
+            [ prop_rng_uniform_bounds; prop_rng_int_below; prop_rng_exponential_positive ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic accumulators" `Quick test_stats_basic;
+          Alcotest.test_case "sample variance" `Quick test_stats_variance;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile;
+          Alcotest.test_case "empty stats" `Quick test_stats_empty;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ]
+        @ qcheck
+            [
+              prop_stats_mean_bounds;
+              prop_stats_percentile_monotone;
+              prop_stats_histogram_counts_all;
+            ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records with timestamps" `Quick test_trace_records;
+          Alcotest.test_case "ring overflow keeps newest" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "disabled trace records nothing" `Quick test_trace_disabled;
+        ] );
+    ]

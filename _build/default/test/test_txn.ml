@@ -1,0 +1,320 @@
+(* Integration tests: single-site transactions and Moss-model nesting
+   semantics through the full stack (application -> CornMan -> server ->
+   TranMan -> log). *)
+
+open Camelot_sim
+open Camelot_core
+open Camelot_server
+open Testutil
+
+let run_txn c ?protocol ~origin body =
+  let tm = Camelot.Cluster.tranman c origin in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      body tid;
+      Tranman.commit tm ?protocol tid)
+
+let test_local_update_commit () =
+  let c = quiet_cluster ~sites:1 () in
+  let o =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 42)) : int))
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "value committed" 42 (peek c 0 "x");
+  Alcotest.(check int) "one disk write (Figure 1: single force)" 1
+    (Camelot_wal.Log.disk_writes (Camelot.Cluster.log c 0));
+  Alcotest.(check bool) "commit record" true (has_record c 0 is_commit);
+  Alcotest.(check bool) "update record" true (has_record c 0 is_update)
+
+let test_local_read_only_no_log () =
+  let c = quiet_cluster ~sites:1 () in
+  let o =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Read "x") : int))
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "no log records" 0 (count_records c 0 (fun _ -> true));
+  Alcotest.(check int) "no forces" 0 (Camelot_wal.Log.forces (Camelot.Cluster.log c 0))
+
+let test_read_only_opt_disabled_still_commits () =
+  let c = quiet_cluster ~sites:1 () in
+  (Camelot.Cluster.config c 0).State.read_only_optimization <- false;
+  let o =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Read "x") : int))
+  in
+  check_committed o;
+  Alcotest.(check bool) "commit record written" true (has_record c 0 is_commit)
+
+let test_abort_restores_value () =
+  let c = quiet_cluster ~sites:1 () in
+  let o1 =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 10)) : int))
+  in
+  check_committed o1;
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 99)) : int);
+      Tranman.abort tm tid;
+      Alcotest.(check (option outcome_testable))
+        "recorded aborted" (Some Protocol.Aborted) (Tranman.outcome tm tid));
+  settle c 100.0;
+  Alcotest.(check int) "value restored" 10 (peek c 0 "x");
+  Alcotest.(check bool) "abort record spooled" true (has_record c 0 is_abort)
+
+let test_server_veto_aborts () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let tid = Tranman.begin_transaction tm in
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 5)) : int);
+        Data_server.veto_next (Camelot.Cluster.server c 0) tid;
+        Tranman.commit tm tid)
+  in
+  check_aborted o;
+  settle c 50.0;
+  Alcotest.(check int) "undone" 0 (peek c 0 "x")
+
+let test_two_servers_one_force () =
+  (* the TranMan as gathering point for log writes: two servers on one
+     site still cost a single force *)
+  let c = quiet_cluster ~sites:1 ~servers_per_site:2 () in
+  let o =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 ~index:0 (Data_server.Write ("a", 1)) : int);
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 ~index:1 (Data_server.Write ("b", 2)) : int))
+  in
+  check_committed o;
+  Alcotest.(check int) "one force for both servers" 1
+    (Camelot_wal.Log.forces (Camelot.Cluster.log c 0))
+
+let test_serialization_under_contention () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let eng = Camelot.Cluster.engine c in
+  let results = ref [] in
+  for _ = 1 to 2 do
+    Fiber.spawn eng (fun () ->
+        let tid = Tranman.begin_transaction tm in
+        (* exclusive read-modify-write: the second transaction queues on
+           the first one's lock until its locks drop at commit *)
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Add ("x", 1)) : int);
+        results := Tranman.commit tm tid :: !results)
+  done;
+  settle c 5000.0;
+  Alcotest.(check int) "both committed" 2
+    (List.length (List.filter (fun o -> o = Protocol.Committed) !results));
+  Alcotest.(check int) "serialized increments" 2 (peek c 0 "x")
+
+let test_locks_released_after_commit () =
+  let c = quiet_cluster ~sites:1 () in
+  let o =
+    run_txn c ~origin:0 (fun tid ->
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 1)) : int))
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "no holders left" 0
+    (List.length
+       (Camelot_lock.Lock_table.holders
+          (Data_server.locks (Camelot.Cluster.server c 0))
+          ~key:"x"))
+
+let test_unknown_tid_raises () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let bogus = Tid.root ~origin:0 ~seq:999 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      match Tranman.commit tm bogus with
+      | (_ : Protocol.outcome) -> Alcotest.fail "expected Unknown_transaction"
+      | exception Tranman.Unknown_transaction t ->
+          Alcotest.(check bool) "names the tid" true (Tid.equal t bogus))
+
+let test_forget_gc () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 1)) : int);
+      (* forgetting an unresolved transaction is refused *)
+      Tranman.forget tm tid;
+      Alcotest.check status_testable "still known while active" Protocol.St_active
+        (Tranman.status tm tid);
+      check_committed (Tranman.commit tm tid);
+      Tranman.forget tm tid;
+      Alcotest.check status_testable "unknown after GC" Protocol.St_unknown
+        (Tranman.status tm tid);
+      Alcotest.(check (option outcome_testable)) "outcome gone" None
+        (Tranman.outcome tm tid))
+
+let test_commit_idempotent () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("x", 1)) : int);
+      let o1 = Tranman.commit tm tid in
+      let o2 = Tranman.commit tm tid in
+      check_committed o1;
+      check_committed o2)
+
+(* --- nesting ------------------------------------------------------- *)
+
+let test_nested_commit_into_parent () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let parent = Tranman.begin_transaction tm in
+        ignore (Camelot.Cluster.op c ~origin:0 parent ~site:0 (Data_server.Write ("p", 1)) : int);
+        let child = Tranman.begin_nested tm ~parent in
+        ignore (Camelot.Cluster.op c ~origin:0 child ~site:0 (Data_server.Write ("c", 2)) : int);
+        check_committed (Tranman.commit tm child);
+        Tranman.commit tm parent)
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check (pair int int)) "both values" (1, 2) (peek c 0 "p", peek c 0 "c")
+
+let test_nested_abort_partial_undo () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let parent = Tranman.begin_transaction tm in
+        ignore (Camelot.Cluster.op c ~origin:0 parent ~site:0 (Data_server.Write ("p", 1)) : int);
+        let child = Tranman.begin_nested tm ~parent in
+        ignore (Camelot.Cluster.op c ~origin:0 child ~site:0 (Data_server.Write ("c", 2)) : int);
+        Tranman.abort tm child;
+        Tranman.commit tm parent)
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "parent's value survives" 1 (peek c 0 "p");
+  Alcotest.(check int) "child's value undone" 0 (peek c 0 "c")
+
+let test_parent_abort_undoes_committed_child () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let parent = Tranman.begin_transaction tm in
+      let child = Tranman.begin_nested tm ~parent in
+      ignore (Camelot.Cluster.op c ~origin:0 child ~site:0 (Data_server.Write ("c", 7)) : int);
+      check_committed (Tranman.commit tm child);
+      Tranman.abort tm parent);
+  settle c 100.0;
+  Alcotest.(check int) "child's effect undone with parent" 0 (peek c 0 "c")
+
+let test_child_lock_antiinheritance () =
+  (* child1 writes k and commits; child2 (sibling) must then be able to
+     write k because the lock passed to the parent, their common
+     ancestor *)
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let parent = Tranman.begin_transaction tm in
+        let child1 = Tranman.begin_nested tm ~parent in
+        ignore (Camelot.Cluster.op c ~origin:0 child1 ~site:0 (Data_server.Write ("k", 1)) : int);
+        check_committed (Tranman.commit tm child1);
+        let child2 = Tranman.begin_nested tm ~parent in
+        ignore (Camelot.Cluster.op c ~origin:0 child2 ~site:0 (Data_server.Add ("k", 10)) : int);
+        check_committed (Tranman.commit tm child2);
+        Tranman.commit tm parent)
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "both children's writes" 11 (peek c 0 "k")
+
+let test_sibling_lock_conflict_until_subcommit () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  Fiber.run (Camelot.Cluster.engine c) (fun () ->
+      let parent = Tranman.begin_transaction tm in
+      let child1 = Tranman.begin_nested tm ~parent in
+      let child2 = Tranman.begin_nested tm ~parent in
+      ignore (Camelot.Cluster.op c ~origin:0 child1 ~site:0 (Data_server.Write ("k", 1)) : int);
+      (* child2 cannot take the sibling's lock *)
+      let srv = Camelot.Cluster.server c 0 in
+      Alcotest.(check bool) "sibling blocked" false
+        (Camelot_lock.Lock_table.try_acquire (Data_server.locks srv) ~owner:child2
+           ~key:"k" Camelot_lock.Lock_table.Exclusive);
+      check_committed (Tranman.commit tm child1);
+      Alcotest.(check bool) "after subcommit sibling may lock" true
+        (Camelot_lock.Lock_table.try_acquire (Data_server.locks srv) ~owner:child2
+           ~key:"k" Camelot_lock.Lock_table.Exclusive))
+
+let test_grandchildren () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let parent = Tranman.begin_transaction tm in
+        let child = Tranman.begin_nested tm ~parent in
+        let grandchild = Tranman.begin_nested tm ~parent:child in
+        ignore (Camelot.Cluster.op c ~origin:0 grandchild ~site:0 (Data_server.Write ("g", 3)) : int);
+        check_committed (Tranman.commit tm grandchild);
+        check_committed (Tranman.commit tm child);
+        Tranman.commit tm parent)
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "grandchild's write" 3 (peek c 0 "g")
+
+let test_top_commit_aborts_unresolved_children () =
+  let c = quiet_cluster ~sites:1 () in
+  let tm = Camelot.Cluster.tranman c 0 in
+  let o =
+    Fiber.run (Camelot.Cluster.engine c) (fun () ->
+        let parent = Tranman.begin_transaction tm in
+        ignore (Camelot.Cluster.op c ~origin:0 parent ~site:0 (Data_server.Write ("p", 1)) : int);
+        let child = Tranman.begin_nested tm ~parent in
+        ignore (Camelot.Cluster.op c ~origin:0 child ~site:0 (Data_server.Write ("c", 2)) : int);
+        (* child left unresolved: top commit aborts it first *)
+        Tranman.commit tm parent)
+  in
+  check_committed o;
+  settle c 100.0;
+  Alcotest.(check int) "parent committed" 1 (peek c 0 "p");
+  Alcotest.(check int) "unresolved child aborted" 0 (peek c 0 "c")
+
+let () =
+  Alcotest.run "camelot_txn"
+    [
+      ( "local",
+        [
+          Alcotest.test_case "update commit" `Quick test_local_update_commit;
+          Alcotest.test_case "read-only writes no log" `Quick test_local_read_only_no_log;
+          Alcotest.test_case "ro-opt disabled still commits" `Quick
+            test_read_only_opt_disabled_still_commits;
+          Alcotest.test_case "abort restores value" `Quick test_abort_restores_value;
+          Alcotest.test_case "server veto aborts" `Quick test_server_veto_aborts;
+          Alcotest.test_case "two servers, one force" `Quick test_two_servers_one_force;
+          Alcotest.test_case "serialization under contention" `Quick
+            test_serialization_under_contention;
+          Alcotest.test_case "locks released after commit" `Quick
+            test_locks_released_after_commit;
+          Alcotest.test_case "unknown tid raises" `Quick test_unknown_tid_raises;
+          Alcotest.test_case "descriptor GC (forget)" `Quick test_forget_gc;
+          Alcotest.test_case "commit idempotent" `Quick test_commit_idempotent;
+        ] );
+      ( "nested",
+        [
+          Alcotest.test_case "child commits into parent" `Quick test_nested_commit_into_parent;
+          Alcotest.test_case "child abort partial undo" `Quick test_nested_abort_partial_undo;
+          Alcotest.test_case "parent abort undoes committed child" `Quick
+            test_parent_abort_undoes_committed_child;
+          Alcotest.test_case "lock anti-inheritance" `Quick test_child_lock_antiinheritance;
+          Alcotest.test_case "sibling conflict until subcommit" `Quick
+            test_sibling_lock_conflict_until_subcommit;
+          Alcotest.test_case "grandchildren" `Quick test_grandchildren;
+          Alcotest.test_case "top commit aborts unresolved children" `Quick
+            test_top_commit_aborts_unresolved_children;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Tests for the write-ahead log: spooling, forcing, group commit
+   batching, the background flusher, durability waits, and crash
+   semantics. *)
+
+open Camelot_sim
+open Camelot_mach
+open Camelot_wal
+
+let make_log ?group_commit ?batch_window_ms () =
+  let eng = Engine.create () in
+  let site = Site.create eng ~id:0 ~model:Cost_model.rt ~rng:(Rng.create ~seed:3) in
+  let log = Log.create ?group_commit ?batch_window_ms site in
+  (eng, site, log)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_append_is_free () =
+  let _, _, log = make_log () in
+  let l0 = Log.append log "a" in
+  let l1 = Log.append log "b" in
+  Alcotest.(check (pair int int)) "lsns" (0, 1) (l0, l1);
+  Alcotest.(check int) "nothing durable" (-1) (Log.durable_lsn log);
+  Alcotest.(check int) "tail advanced" 1 (Log.tail_lsn log)
+
+let test_force_takes_force_time () =
+  let eng, _, log = make_log () in
+  let elapsed =
+    Fiber.run eng (fun () ->
+        let t0 = Fiber.now () in
+        ignore (Log.append_force log "a" : int);
+        Fiber.now () -. t0)
+  in
+  check_float "one 15ms disk write" 15.0 elapsed;
+  Alcotest.(check int) "durable" 0 (Log.durable_lsn log)
+
+let test_force_covers_spooled () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append log "a" : int);
+      ignore (Log.append log "b" : int);
+      Log.force log);
+  Alcotest.(check int) "both durable in one write" 1 (Log.durable_lsn log);
+  Alcotest.(check int) "single disk write" 1 (Log.disk_writes log)
+
+let test_force_noop_when_durable () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append_force log "a" : int);
+      let t0 = Fiber.now () in
+      Log.force log;
+      Alcotest.(check (float 1e-6)) "no write needed" 0.0 (Fiber.now () -. t0))
+
+let test_unbatched_forces_serialize () =
+  let eng, _, log = make_log ~group_commit:false () in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        ignore (Log.append log (Printf.sprintf "r%d" i) : int);
+        Log.force log;
+        finish := Fiber.now () :: !finish)
+  done;
+  Engine.run eng;
+  (* every force performs its own 15ms write: 15, 30, 45 *)
+  Alcotest.(check (list (float 1e-6)))
+    "three writes" [ 15.0; 30.0; 45.0 ]
+    (List.sort compare !finish);
+  Alcotest.(check int) "three disk writes" 3 (Log.disk_writes log)
+
+let test_group_commit_batches () =
+  let eng, _, log = make_log ~group_commit:true () in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        ignore (Log.append log (Printf.sprintf "r%d" i) : int);
+        Log.force log;
+        finish := Fiber.now () :: !finish)
+  done;
+  Engine.run eng;
+  (* one leader write covers all three *)
+  Alcotest.(check (list (float 1e-6)))
+    "one write for all" [ 15.0; 15.0; 15.0 ]
+    (List.sort compare !finish);
+  Alcotest.(check int) "single disk write" 1 (Log.disk_writes log);
+  Alcotest.(check int) "three forces" 3 (Log.forces log)
+
+let test_group_commit_late_arrival_waits () =
+  let eng, _, log = make_log ~group_commit:true () in
+  let late_done = ref 0.0 in
+  Fiber.spawn eng (fun () ->
+      ignore (Log.append log "early" : int);
+      Log.force log);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 5.0;
+      (* arrives while the leader's write is in flight: must wait for a
+         second write (its record was spooled after write start) *)
+      ignore (Log.append log "late" : int);
+      Log.force log;
+      late_done := Fiber.now ());
+  Engine.run eng;
+  check_float "second write at 30" 30.0 !late_done;
+  Alcotest.(check int) "two disk writes" 2 (Log.disk_writes log)
+
+let test_batch_window_accumulates () =
+  let eng, _, log = make_log ~group_commit:true ~batch_window_ms:10.0 () in
+  let done_at = ref [] in
+  Fiber.spawn eng (fun () ->
+      ignore (Log.append log "a" : int);
+      Log.force log;
+      done_at := Fiber.now () :: !done_at);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 5.0;
+      (* lands inside the leader's 10ms window: same write *)
+      ignore (Log.append log "b" : int);
+      Log.force log;
+      done_at := Fiber.now () :: !done_at);
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-6)))
+    "window batched both" [ 25.0; 25.0 ]
+    (List.sort compare !done_at);
+  Alcotest.(check int) "one disk write" 1 (Log.disk_writes log)
+
+let test_wait_durable_via_flusher () =
+  let eng, _, log = make_log () in
+  Log.start_flusher log ~every:20.0;
+  let woke_at =
+    Fiber.run eng (fun () ->
+        let lsn = Log.append log "lazy" in
+        Log.wait_durable log lsn;
+        Fiber.now ())
+  in
+  (* flusher fires at 20, write completes at 35 *)
+  check_float "woken after flusher write" 35.0 woke_at
+
+let test_crash_loses_tail () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append_force log "durable" : int);
+      ignore (Log.append log "volatile" : int));
+  Log.crash log;
+  Alcotest.(check int) "tail truncated" 0 (Log.tail_lsn log);
+  Alcotest.(check (list (pair int string)))
+    "only durable prefix survives" [ (0, "durable") ]
+    (Log.durable_records log)
+
+let test_records_accessors () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append_force log "a" : int);
+      ignore (Log.append log "b" : int));
+  Alcotest.(check (list (pair int string))) "durable" [ (0, "a") ] (Log.durable_records log);
+  Alcotest.(check (list (pair int string)))
+    "all includes tail"
+    [ (0, "a"); (1, "b") ]
+    (Log.all_records log)
+
+let test_throughput_cap_without_batching () =
+  (* the §3.5 argument: a 15ms force caps an unbatched log at ~66
+     writes/s; group commit with many concurrent committers beats it *)
+  let eng, _, log = make_log ~group_commit:false () in
+  let committed = ref 0 in
+  for _ = 1 to 10 do
+    Fiber.spawn eng (fun () ->
+        let rec loop () =
+          if Fiber.now () < 1000.0 then begin
+            ignore (Log.append log "commit" : int);
+            Log.force log;
+            incr committed;
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Engine.run ~until:1000.0 eng;
+  let unbatched = !committed in
+  let eng2 = Engine.create () in
+  let site2 = Site.create eng2 ~id:0 ~model:Cost_model.rt ~rng:(Rng.create ~seed:4) in
+  let log2 = Log.create ~group_commit:true site2 in
+  let committed2 = ref 0 in
+  for _ = 1 to 10 do
+    Fiber.spawn eng2 (fun () ->
+        let rec loop () =
+          if Fiber.now () < 1000.0 then begin
+            ignore (Log.append log2 "commit" : int);
+            Log.force log2;
+            incr committed2;
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Engine.run ~until:1000.0 eng2;
+  Alcotest.(check bool)
+    (Printf.sprintf "unbatched ~66/s (%d)" unbatched)
+    true
+    (unbatched >= 60 && unbatched <= 70);
+  Alcotest.(check bool)
+    (Printf.sprintf "batched beats unbatched (%d > %d)" !committed2 unbatched)
+    true
+    (!committed2 > 5 * unbatched)
+
+let () =
+  Alcotest.run "camelot_wal"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append is free" `Quick test_append_is_free;
+          Alcotest.test_case "force takes 15ms" `Quick test_force_takes_force_time;
+          Alcotest.test_case "force covers spooled" `Quick test_force_covers_spooled;
+          Alcotest.test_case "force no-op when durable" `Quick test_force_noop_when_durable;
+          Alcotest.test_case "unbatched forces serialize" `Quick test_unbatched_forces_serialize;
+          Alcotest.test_case "group commit batches" `Quick test_group_commit_batches;
+          Alcotest.test_case "late arrival waits for next write" `Quick
+            test_group_commit_late_arrival_waits;
+          Alcotest.test_case "batch window accumulates" `Quick test_batch_window_accumulates;
+          Alcotest.test_case "wait_durable via flusher" `Quick test_wait_durable_via_flusher;
+          Alcotest.test_case "crash loses volatile tail" `Quick test_crash_loses_tail;
+          Alcotest.test_case "record accessors" `Quick test_records_accessors;
+          Alcotest.test_case "group commit throughput (§3.5)" `Quick
+            test_throughput_cap_without_batching;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* Shared helpers for the integration test suites. *)
+
+open Camelot_mach
+open Camelot_core
+
+(* A cost model with all stochastic noise removed: virtual-time
+   assertions become exact. *)
+let quiet_model =
+  {
+    Cost_model.rt with
+    Cost_model.datagram_jitter_ms = 0.0;
+    send_hiccup_p = 0.0;
+    rpc_jitter_ms = 0.0;
+  }
+
+(* TranMan configuration with short timeouts so failure scenarios
+   resolve quickly in virtual time. *)
+let fast_config () =
+  let c = State.default_config () in
+  c.State.vote_timeout_ms <- 100.0;
+  c.State.max_vote_retries <- 2;
+  c.State.outcome_retry_ms <- 150.0;
+  c.State.subordinate_timeout_ms <- 400.0;
+  c.State.takeover_retry_ms <- 200.0;
+  c
+
+(* Remove CPU jitter too: zero the mean used by State.charge_cpu's
+   exponential (it scales with tranman_cpu_ms, so leave that; tests
+   that need exactness assert ranges instead). *)
+
+let quiet_cluster ?config ?servers_per_site ?group_commit ?(sites = 2) () =
+  Camelot.Cluster.create ~model:quiet_model
+    ~config:(match config with Some c -> c | None -> fast_config ())
+    ?servers_per_site ?group_commit ~sites ()
+
+(* Drive the engine for [ms] more virtual milliseconds (lets background
+   fibers — notify, acks, flusher — settle before asserting). *)
+let settle c ms =
+  let eng = Camelot.Cluster.engine c in
+  Camelot.Cluster.run ~until:(Camelot_sim.Engine.now eng +. ms) c
+
+let outcome_testable =
+  Alcotest.testable Protocol.pp_outcome (fun a b -> a = b)
+
+let status_testable = Alcotest.testable Protocol.pp_status (fun a b -> a = b)
+
+let check_committed = Alcotest.check outcome_testable "committed" Protocol.Committed
+let check_aborted = Alcotest.check outcome_testable "aborted" Protocol.Aborted
+
+(* Count log records matching a predicate in a site's durable+volatile log. *)
+let count_records c site p =
+  List.length
+    (List.filter (fun (_, r) -> p r) (Camelot_wal.Log.all_records (Camelot.Cluster.log c site)))
+
+let has_record c site p = count_records c site p > 0
+
+let is_commit = function Record.Commit _ -> true | _ -> false
+let is_prepare = function Record.Prepare _ -> true | _ -> false
+let is_abort = function Record.Abort _ -> true | _ -> false
+let is_end = function Record.End _ -> true | _ -> false
+let is_replication = function Record.Replication _ -> true | _ -> false
+let is_refusal = function Record.Refusal _ -> true | _ -> false
+let is_update = function Record.Update _ -> true | _ -> false
+
+let peek c site key = Camelot_server.Data_server.peek (Camelot.Cluster.server c site) key
+
+(* Poll a predicate from inside a fiber (used by failure tests to crash
+   a site at a precise protocol state). *)
+let wait_until ?(timeout = 30_000.0) ?(what = "condition") pred =
+  let deadline = Camelot_sim.Fiber.now () +. timeout in
+  let rec loop () =
+    if pred () then ()
+    else if Camelot_sim.Fiber.now () > deadline then
+      Alcotest.failf "wait_until: %s not reached in %.0fms" what timeout
+    else begin
+      Camelot_sim.Fiber.sleep 2.0;
+      loop ()
+    end
+  in
+  loop ()
