@@ -1,0 +1,24 @@
+.PHONY: build test bench bench-smoke fmt-check
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Fast CI-friendly pass: one-shot timings for every microbenchmark plus
+# the Part-1 reproduction wall clock, written as BENCH_1.json.
+bench-smoke:
+	dune exec bench/main.exe -- --quick --json BENCH_1.json
+
+# Formatting gate. The container may not ship ocamlformat; skip (with a
+# note) rather than fail when the tool is absent.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "fmt-check: ocamlformat not installed; skipping"; \
+	fi

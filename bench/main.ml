@@ -6,12 +6,24 @@
    cost of simulating the systems, one Test.make per reproduced
    artifact plus the core data structures).
 
+   The whole run is summarised into a machine-readable JSON baseline
+   (default [BENCH_1.json], override with [--json FILE]): every
+   micro-benchmark's ns/run plus the Part 1 wall-clock, so successive
+   PRs have a perf trajectory to compare against.
+
    Run with --quick for a fast pass (fewer repetitions). *)
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_1.json" in
+  Array.iteri
+    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures *)
@@ -33,6 +45,73 @@ let reproduce () =
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)
 
+(* Reference implementation: the swap-based binary AoS heap this repo
+   shipped with, kept here so every bench run reports the d-ary
+   hole-sifting speedup against a live baseline rather than a number in
+   a commit message. *)
+module Binary_heap = struct
+  type 'a entry = { priority : float; seq : int; value : 'a }
+  type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let entry_lt a b =
+    a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+  let grow t entry =
+    let capacity = Array.length t.data in
+    if t.size = capacity then begin
+      let data = Array.make (max 16 (2 * capacity)) entry in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if entry_lt t.data.(i) t.data.(parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let left = (2 * i) + 1 in
+    let right = left + 1 in
+    let smallest = ref i in
+    if left < t.size && entry_lt t.data.(left) t.data.(!smallest) then
+      smallest := left;
+    if right < t.size && entry_lt t.data.(right) t.data.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let push t ~priority ~seq value =
+    let entry = { priority; seq; value } in
+    grow t entry;
+    t.data.(t.size) <- entry;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        sift_down t 0
+      end;
+      Some top.value
+    end
+end
+
 let bench_heap () =
   let h = Camelot_sim.Heap.create () in
   for i = 0 to 999 do
@@ -40,6 +119,16 @@ let bench_heap () =
   done;
   let rec drain () =
     match Camelot_sim.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let bench_binary_heap () =
+  let h = Binary_heap.create () in
+  for i = 0 to 999 do
+    Binary_heap.push h ~priority:(float_of_int ((i * 7919) mod 1000)) ~seq:i i
+  done;
+  let rec drain () =
+    match Binary_heap.pop h with Some _ -> drain () | None -> ()
   in
   drain ()
 
@@ -55,6 +144,30 @@ let bench_engine () =
   let eng = Camelot_sim.Engine.create () in
   for i = 1 to 1000 do
     Camelot_sim.Engine.schedule eng ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Camelot_sim.Engine.run eng
+
+let bench_engine_cancel () =
+  (* cancel-heavy workload, the shape of retransmit timers and commit
+     timeouts: arm a timer per event, cancel four of five, run *)
+  let eng = Camelot_sim.Engine.create () in
+  for i = 1 to 1000 do
+    let cancel =
+      Camelot_sim.Engine.schedule_timer eng ~delay:(float_of_int i) (fun () -> ())
+    in
+    if i mod 5 <> 0 then cancel ()
+  done;
+  Camelot_sim.Engine.run eng
+
+let bench_engine_zero_delay () =
+  (* same-instant storm: chains of delay = 0 events, the Fiber.yield /
+     resumption pattern, served by the FIFO lane without heap traffic *)
+  let eng = Camelot_sim.Engine.create () in
+  let rec chain n () =
+    if n > 0 then Camelot_sim.Engine.schedule eng ~delay:0.0 (chain (n - 1))
+  in
+  for _ = 1 to 10 do
+    Camelot_sim.Engine.schedule eng ~delay:0.0 (chain 100)
   done;
   Camelot_sim.Engine.run eng
 
@@ -88,8 +201,14 @@ let tests =
   Test.make_grouped ~name:"camelot" ~fmt:"%s/%s"
     [
       Test.make ~name:"sim: heap 1k push+pop" (Staged.stage bench_heap);
+      Test.make ~name:"sim: binary heap 1k push+pop (baseline)"
+        (Staged.stage bench_binary_heap);
       Test.make ~name:"sim: rng 1k draws" (Staged.stage (fun () -> ignore (bench_rng () : float)));
       Test.make ~name:"sim: engine 1k events" (Staged.stage bench_engine);
+      Test.make ~name:"sim: engine 1k timers 80% cancelled"
+        (Staged.stage bench_engine_cancel);
+      Test.make ~name:"sim: engine 1k zero-delay storm"
+        (Staged.stage bench_engine_zero_delay);
       Test.make ~name:"lock: 100 acquire/release" (Staged.stage bench_lock_table);
       Test.make ~name:"txn: local commit (Table 3 row 1)"
         (Staged.stage (fun () ->
@@ -104,6 +223,7 @@ let tests =
         (Staged.stage (fun () -> ignore (Camelot.Cluster.create ~sites:4 () : Camelot.Cluster.t)));
     ]
 
+(* name -> ns/run estimates, sorted by name *)
 let micro_benchmarks () =
   Camelot_experiments.Report.header "Micro-benchmarks (Bechamel, wall-clock)";
   let cfg =
@@ -116,21 +236,71 @@ let micro_benchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with
-        | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
-        | Some _ | None -> "(no estimate)"
+        | Some [ est ] -> Some est
+        | Some _ | None -> None
       in
-      rows := [ name; ns ] :: !rows)
+      estimates := (name, ns) :: !estimates)
     results;
+  let estimates = List.sort compare !estimates in
   Camelot_experiments.Report.table ~columns:[ "BENCH"; "TIME" ]
-    (List.sort compare !rows)
+    (List.map
+       (fun (name, ns) ->
+         let time =
+           match ns with
+           | Some est -> Printf.sprintf "%12.1f ns/run" est
+           | None -> "(no estimate)"
+         in
+         [ name; time ])
+       estimates);
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable baseline *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_baseline ~path ~repro_wall_clock_s estimates =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"camelot-bench/1\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"reproduction_wall_clock_s\": %.6f,\n" repro_wall_clock_s;
+  Printf.fprintf oc "  \"benchmarks_ns_per_run\": {\n";
+  let n = List.length estimates in
+  List.iteri
+    (fun i (name, ns) ->
+      let value =
+        match ns with Some est -> Printf.sprintf "%.3f" est | None -> "null"
+      in
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name) value
+        (if i = n - 1 then "" else ","))
+    estimates;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "bench: baseline written to %s\n" path
 
 let () =
+  let t0 = Unix.gettimeofday () in
   reproduce ();
-  micro_benchmarks ();
+  let repro_wall_clock_s = Unix.gettimeofday () -. t0 in
+  let estimates = micro_benchmarks () in
+  write_baseline ~path:json_path ~repro_wall_clock_s estimates;
   print_newline ();
   print_endline "bench: done."

@@ -50,7 +50,7 @@ let site_snapshot cluster elapsed i =
     heuristic_damage = stats.State.n_heuristic_damage;
     log_forces = Camelot_wal.Log.forces node.Cluster.log;
     disk_writes = Camelot_wal.Log.disk_writes node.Cluster.log;
-    log_records = List.length (Camelot_wal.Log.all_records node.Cluster.log);
+    log_records = Camelot_wal.Log.records_spooled node.Cluster.log;
     cpu_busy_ms = busy;
     cpu_utilization = (if capacity > 0.0 then busy /. capacity else 0.0);
   }

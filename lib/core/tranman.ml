@@ -291,7 +291,6 @@ let status st tid = status_of_family st tid
    resolve through the normal inquiry/takeover machinery. *)
 
 let recover st =
-  let records = Camelot_wal.Log.durable_records st.log in
   (* last-writer-wins reconstruction of per-family protocol state *)
   let replay (fam : family) = function
     | Record.Checkpoint _ -> ()
@@ -322,14 +321,11 @@ let recover st =
     | Record.End _ -> fam.f_acks_pending <- []
   in
   let ends = Hashtbl.create 16 in
-  List.iter
-    (fun (_, r) ->
+  Camelot_wal.Log.iter_durable st.log (fun _ r ->
       match r with
       | Record.End { e_tid } -> Hashtbl.replace ends (Tid.family e_tid) ()
-      | _ -> ())
-    records;
-  List.iter
-    (fun (_, r) ->
+      | _ -> ());
+  Camelot_wal.Log.iter_durable st.log (fun _ r ->
       match r with
       | Record.Checkpoint { ck_active; _ } ->
           (* in-flight updates snapshotted at checkpoint time carry the
@@ -343,8 +339,7 @@ let recover st =
       | r ->
           let tid = Record.tid r in
           let fam = find_or_join_family st tid in
-          replay fam r)
-    records;
+          replay fam r);
   let in_doubt = ref [] in
   Hashtbl.iter
     (fun key fam ->

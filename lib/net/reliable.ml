@@ -25,6 +25,8 @@ module Dedup = struct
 end
 
 module Retransmitter = struct
+  let never_armed () = ()
+
   type t = {
     eng : Camelot_sim.Engine.t;
     every : float;
@@ -32,6 +34,7 @@ module Retransmitter = struct
     send : unit -> unit;
     mutable tries : int;
     mutable stopped : bool;
+    mutable cancel : unit -> unit; (* cancels the armed re-fire timer *)
   }
 
   let rec fire t =
@@ -41,16 +44,34 @@ module Retransmitter = struct
       | Some _ | None ->
           t.tries <- t.tries + 1;
           t.send ();
-          Camelot_sim.Engine.schedule t.eng ~delay:t.every (fun () -> fire t)
+          t.cancel <-
+            Camelot_sim.Engine.schedule_timer t.eng ~delay:t.every (fun () ->
+                fire t)
     end
 
   let start eng ~every ?max_tries send =
     if every <= 0.0 then invalid_arg "Retransmitter.start: period must be positive";
-    let t = { eng; every; max_tries; send; tries = 0; stopped = false } in
+    let t =
+      {
+        eng;
+        every;
+        max_tries;
+        send;
+        tries = 0;
+        stopped = false;
+        cancel = never_armed;
+      }
+    in
     fire t;
     t
 
-  let stop t = t.stopped <- true
+  let stop t =
+    t.stopped <- true;
+    (* drop the pending re-fire event instead of letting a dead closure
+       (capturing [send] and whatever it captures) ride the event queue
+       until its deadline *)
+    t.cancel ()
+
   let tries t = t.tries
   let stopped t = t.stopped
 end

@@ -1,47 +1,183 @@
+(* The event queue is split into two lanes:
+
+   - timed events go through the 4-ary [Heap], keyed by
+     [(time, sequence)];
+   - same-instant events ([delay = 0] — every [Fiber.yield], every
+     resumption routed through the queue) go through a flat FIFO ring
+     and never touch the heap.
+
+   Ring entries always carry the current virtual time: the clock only
+   advances by executing a heap event, and a heap event is only chosen
+   while the ring is non-empty if it is an *older* same-instant event
+   (smaller sequence number at the same time). Interleaving the two
+   lanes by [(time, seq)] therefore reproduces exactly the order a
+   single heap would give — determinism is preserved bit-for-bit.
+
+   Timers ([schedule_timer]) support cancellation by lazy deletion:
+   cancelling drops the callback immediately (captured state becomes
+   collectable) and leaves a small tombstone in the queue that is
+   discarded, not executed, when it surfaces. *)
+
+type timer = { mutable live : bool; mutable fn : unit -> unit }
+
+type event = Call of (unit -> unit) | Timer of timer
+
+let noop () = ()
+
+(* shared sentinel for vacated ring slots *)
+let noop_event = Call noop
+
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable executed : int;
-  queue : (unit -> unit) Heap.t;
+  mutable dead : int; (* cancelled timers still buried in the queue *)
+  queue : event Heap.t;
+  (* same-instant FIFO lane: parallel circular buffers, power-of-two
+     capacity, [ring_seq] holding each event's global sequence number *)
+  mutable ring : event array;
+  mutable ring_seq : int array;
+  mutable head : int;
+  mutable len : int;
 }
 
-let create () = { now = 0.0; seq = 0; executed = 0; queue = Heap.create () }
+let create () =
+  {
+    now = 0.0;
+    seq = 0;
+    executed = 0;
+    dead = 0;
+    queue = Heap.create ();
+    ring = [||];
+    ring_seq = [||];
+    head = 0;
+    len = 0;
+  }
 
 let now t = t.now
 
-let schedule_at t ~time f =
-  let time = if time < t.now then t.now else time in
-  Heap.push t.queue ~priority:time ~seq:t.seq f;
-  t.seq <- t.seq + 1
+let ring_push t seq ev =
+  let cap = Array.length t.ring in
+  if t.len = cap then begin
+    let capacity = max 16 (2 * cap) in
+    let ring = Array.make capacity noop_event in
+    let ring_seq = Array.make capacity 0 in
+    for i = 0 to t.len - 1 do
+      let slot = (t.head + i) land (cap - 1) in
+      ring.(i) <- t.ring.(slot);
+      ring_seq.(i) <- t.ring_seq.(slot)
+    done;
+    t.ring <- ring;
+    t.ring_seq <- ring_seq;
+    t.head <- 0
+  end;
+  let slot = (t.head + t.len) land (Array.length t.ring - 1) in
+  t.ring.(slot) <- ev;
+  t.ring_seq.(slot) <- seq;
+  t.len <- t.len + 1
+
+let ring_pop t =
+  let ev = t.ring.(t.head) in
+  t.ring.(t.head) <- noop_event;
+  t.head <- (t.head + 1) land (Array.length t.ring - 1);
+  t.len <- t.len - 1;
+  ev
+
+let push_event t ~time ev =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  if time <= t.now then ring_push t seq ev
+  else Heap.push t.queue ~priority:time ~seq ev
+
+let schedule_at t ~time f = push_event t ~time (Call f)
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.now +. delay) f
+  push_event t ~time:(t.now +. delay) (Call f)
 
-let step t =
-  match Heap.peek_priority t.queue with
-  | None -> false
-  | Some time -> (
-      match Heap.pop t.queue with
-      | None -> false
-      | Some f ->
-          t.now <- time;
+let schedule_timer t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_timer: negative delay";
+  let tm = { live = true; fn = f } in
+  push_event t ~time:(t.now +. delay) (Timer tm);
+  fun () ->
+    if tm.live then begin
+      tm.live <- false;
+      (* release the callback now; the tombstone is swept at pop *)
+      tm.fn <- noop;
+      t.dead <- t.dead + 1
+    end
+
+let fire t tm =
+  let f = tm.fn in
+  (* timers fire once: drop the closure as soon as it runs *)
+  tm.live <- false;
+  tm.fn <- noop;
+  t.executed <- t.executed + 1;
+  f ()
+
+(* Execute the next live event no later than [limit]. The next event is
+   the minimum of the heap top and the ring head by [(time, seq)]; ring
+   entries sit at the current time. *)
+let rec exec_next t ~limit =
+  if t.len > 0 then begin
+    let heap_first =
+      (not (Heap.is_empty t.queue))
+      &&
+      let hp = Heap.min_priority t.queue in
+      hp < t.now
+      || (hp = t.now && Heap.min_seq t.queue < t.ring_seq.(t.head))
+    in
+    if heap_first then exec_heap t ~limit
+    else if t.now > limit then false
+    else
+      match ring_pop t with
+      | Call f ->
           t.executed <- t.executed + 1;
           f ();
-          true)
+          true
+      | Timer tm ->
+          if tm.live then begin
+            fire t tm;
+            true
+          end
+          else begin
+            t.dead <- t.dead - 1;
+            exec_next t ~limit
+          end
+  end
+  else if not (Heap.is_empty t.queue) then exec_heap t ~limit
+  else false
+
+and exec_heap t ~limit =
+  let time = Heap.min_priority t.queue in
+  if time > limit then false
+  else
+    match Heap.pop_exn t.queue with
+    | Call f ->
+        t.now <- time;
+        t.executed <- t.executed + 1;
+        f ();
+        true
+    | Timer tm ->
+        if tm.live then begin
+          t.now <- time;
+          fire t tm;
+          true
+        end
+        else begin
+          t.dead <- t.dead - 1;
+          exec_next t ~limit
+        end
+
+let step t = exec_next t ~limit:infinity
 
 let run ?until t =
-  let continue () =
-    match (until, Heap.peek_priority t.queue) with
-    | _, None -> false
-    | None, Some _ -> true
-    | Some limit, Some next -> next <= limit
-  in
-  while continue () do
-    ignore (step t : bool)
+  let limit = match until with Some l -> l | None -> infinity in
+  while exec_next t ~limit do
+    ()
   done;
   match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
 
-let pending t = Heap.length t.queue
+let pending t = Heap.length t.queue + t.len - t.dead
 
 let executed t = t.executed

@@ -15,8 +15,18 @@ val create : unit -> t
 val now : t -> float
 
 (** [schedule t ~delay f] runs [f] at virtual time [now t +. delay].
-    [delay] must be non-negative. *)
+    [delay] must be non-negative. Events with [delay = 0] take a FIFO
+    fast path that bypasses the time-ordered heap; execution order is
+    identical either way. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_timer t ~delay f] is [schedule t ~delay f] returning a
+    cancel handle. Cancelling before the timer fires guarantees [f]
+    never runs and releases [f] immediately (its captured state becomes
+    collectable); the queue slot itself is reclaimed lazily when it
+    reaches the front. Cancelling twice, or after the timer fired, is a
+    no-op. Cancelled timers do not count as executed events. *)
+val schedule_timer : t -> delay:float -> (unit -> unit) -> unit -> unit
 
 (** [schedule_at t ~time f] runs [f] at absolute virtual [time]; if
     [time] is in the past it runs at the current time. *)

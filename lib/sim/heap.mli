@@ -1,8 +1,14 @@
-(** Binary min-heap keyed by [(priority, sequence)] pairs.
+(** 4-ary min-heap keyed by [(priority, sequence)] pairs.
 
     The sequence number breaks priority ties so that elements with equal
     priority pop in insertion order — the property the event queue needs
-    for deterministic simulation. *)
+    for deterministic simulation.
+
+    The implementation keeps priorities, sequence numbers and values in
+    separate flat arrays (so comparisons stay unboxed) and sifts with a
+    migrating hole — one store per level instead of a swap. Vacated
+    slots are cleared on [pop], so values popped or displaced from the
+    heap do not linger reachable from its backing store. *)
 
 type 'a t
 
@@ -20,8 +26,26 @@ val push : 'a t -> priority:float -> seq:int -> 'a -> unit
 (** [pop t] removes and returns the minimum element, or [None] if empty. *)
 val pop : 'a t -> 'a option
 
+(** [pop_exn t] removes and returns the minimum element.
+    @raise Invalid_argument if the heap is empty. *)
+val pop_exn : 'a t -> 'a
+
 (** [peek_priority t] is the priority of the minimum element. *)
 val peek_priority : 'a t -> float option
 
+(** Priority of the minimum element, without the option wrapper.
+    @raise Invalid_argument if the heap is empty. *)
+val min_priority : 'a t -> float
+
+(** Sequence number of the minimum element.
+    @raise Invalid_argument if the heap is empty. *)
+val min_seq : 'a t -> int
+
 (** Remove every element. *)
 val clear : 'a t -> unit
+
+(** [isheap t] validates the structural invariants: every child ordered
+    after its parent by [(priority, seq)], and every vacated slot
+    cleared. With [~check:false] the walk is skipped and the result is
+    trivially [true] (mirrors the FasterHeaps [isheap] test hook). *)
+val isheap : ?check:bool -> 'a t -> bool

@@ -1,49 +1,63 @@
 (* A waiter is "live" while its resumer is pending AND it has not timed
    out. [timed_out] distinguishes a waiter abandoned by its timeout from
-   one cancelled by a group kill; both are skipped by senders. *)
+   one cancelled by a group kill; both are skipped by senders. A timed
+   receive arms a cancellable engine timer; delivery (or skipping a dead
+   waiter) cancels it so the timeout closure does not linger in the
+   event queue. *)
 type 'a waiter = {
   resume : 'a option Fiber.resumer;
   mutable timed_out : bool;
+  mutable cancel_timeout : unit -> unit;
 }
+
+let no_timeout () = ()
 
 type 'a t = {
   eng : Engine.t;
-  items : 'a Queue.t;
-  pending : 'a waiter Queue.t;
+  items : 'a Ring.t;
+  pending : 'a waiter Ring.t;
 }
 
-let create eng = { eng; items = Queue.create (); pending = Queue.create () }
+let create eng = { eng; items = Ring.create (); pending = Ring.create () }
 
 let live w = (not w.timed_out) && Fiber.is_pending w.resume
 
 (* Pop the next waiter still worth delivering to. *)
 let rec next_waiter t =
-  match Queue.take_opt t.pending with
+  match Ring.pop_opt t.pending with
   | None -> None
-  | Some w -> if live w then Some w else next_waiter t
+  | Some w ->
+      if live w then Some w
+      else begin
+        w.cancel_timeout ();
+        next_waiter t
+      end
 
 let send t v =
   match next_waiter t with
-  | Some w -> Fiber.resume w.resume (Ok (Some v))
-  | None -> Queue.add v t.items
+  | Some w ->
+      w.cancel_timeout ();
+      Fiber.resume w.resume (Ok (Some v))
+  | None -> Ring.push t.items v
 
-let try_recv t = Queue.take_opt t.items
+let try_recv t = Ring.pop_opt t.items
 
 let recv_opt t ~timeout =
-  match Queue.take_opt t.items with
+  match Ring.pop_opt t.items with
   | Some v -> Some v
   | None ->
       Fiber.suspend (fun resume ->
-          let w = { resume; timed_out = false } in
-          Queue.add w t.pending;
+          let w = { resume; timed_out = false; cancel_timeout = no_timeout } in
+          Ring.push t.pending w;
           match timeout with
           | None -> ()
           | Some d ->
-              Engine.schedule t.eng ~delay:d (fun () ->
-                  if live w then begin
-                    w.timed_out <- true;
-                    Fiber.resume w.resume (Ok None)
-                  end))
+              w.cancel_timeout <-
+                Engine.schedule_timer t.eng ~delay:d (fun () ->
+                    if live w then begin
+                      w.timed_out <- true;
+                      Fiber.resume w.resume (Ok None)
+                    end))
 
 let recv t =
   match recv_opt t ~timeout:None with
@@ -52,8 +66,9 @@ let recv t =
 
 let recv_timeout t d = recv_opt t ~timeout:(Some d)
 
-let length t = Queue.length t.items
+let length t = Ring.length t.items
 
-let waiters t = Queue.fold (fun acc w -> if live w then acc + 1 else acc) 0 t.pending
+let waiters t =
+  Ring.fold (fun acc w -> if live w then acc + 1 else acc) 0 t.pending
 
-let clear t = Queue.clear t.items
+let clear t = Ring.clear t.items

@@ -1,23 +1,25 @@
 (* Pop the next waiter whose fiber is still suspended; cancelled fibers
-   (e.g. from a crashed site) are skipped so permits are never lost. *)
+   (e.g. from a crashed site) are skipped so permits are never lost.
+   Wait queues are [Ring]s, not [Queue]s: no cell allocation per
+   waiter. *)
 let rec next_live_waiter waiters =
-  match Queue.take_opt waiters with
+  match Ring.pop_opt waiters with
   | None -> None
   | Some w -> if Fiber.is_pending w then Some w else next_live_waiter waiters
 
 module Mutex = struct
   type t = {
     mutable held : bool;
-    waiters : unit Fiber.resumer Queue.t;
+    waiters : unit Fiber.resumer Ring.t;
   }
 
-  let create () = { held = false; waiters = Queue.create () }
+  let create () = { held = false; waiters = Ring.create () }
 
   let locked t = t.held
 
   let lock t =
     if not t.held then t.held <- true
-    else Fiber.suspend (fun resume -> Queue.add resume t.waiters)
+    else Fiber.suspend (fun resume -> Ring.push t.waiters resume)
 
   let unlock t =
     if not t.held then invalid_arg "Sync.Mutex.unlock: not locked";
@@ -37,13 +39,13 @@ module Mutex = struct
 end
 
 module Condition = struct
-  type t = { waiters : unit Fiber.resumer Queue.t }
+  type t = { waiters : unit Fiber.resumer Ring.t }
 
-  let create (_ : Engine.t) = { waiters = Queue.create () }
+  let create (_ : Engine.t) = { waiters = Ring.create () }
 
   let wait t mutex =
     Fiber.suspend (fun resume ->
-        Queue.add resume t.waiters;
+        Ring.push t.waiters resume;
         Mutex.unlock mutex);
     Mutex.lock mutex
 
@@ -53,23 +55,25 @@ module Condition = struct
     | None -> ()
 
   let broadcast t =
-    let all = Queue.fold (fun acc w -> w :: acc) [] t.waiters in
-    Queue.clear t.waiters;
-    List.iter
+    (* resumptions are queued through the engine, never run inline, so
+       the wait queue cannot change under this iteration — wake in
+       place with no intermediate list *)
+    Ring.iter
       (fun resume -> if Fiber.is_pending resume then Fiber.resume resume (Ok ()))
-      (List.rev all)
+      t.waiters;
+    Ring.clear t.waiters
 end
 
 module Semaphore = struct
-  type t = { mutable permits : int; waiters : unit Fiber.resumer Queue.t }
+  type t = { mutable permits : int; waiters : unit Fiber.resumer Ring.t }
 
   let create n =
     if n < 0 then invalid_arg "Sync.Semaphore.create: negative permits";
-    { permits = n; waiters = Queue.create () }
+    { permits = n; waiters = Ring.create () }
 
   let acquire t =
     if t.permits > 0 then t.permits <- t.permits - 1
-    else Fiber.suspend (fun resume -> Queue.add resume t.waiters)
+    else Fiber.suspend (fun resume -> Ring.push t.waiters resume)
 
   let release t =
     match next_live_waiter t.waiters with

@@ -66,7 +66,12 @@ let rec force_batched t target =
     if t.writing then begin
       (* a leader's write is in flight; wait for it and re-check *)
       Sync.Mutex.lock t.cond_mutex;
-      Sync.Condition.wait t.cond t.cond_mutex;
+      (* re-read [durable] under the mutex before committing to a wait:
+         the leader's write may have landed — possibly exactly at
+         [target] — while this fiber was acquiring the lock, in which
+         case the broadcast it would wait for has already happened *)
+      if target > t.durable && t.writing then
+        Sync.Condition.wait t.cond t.cond_mutex;
       Sync.Mutex.unlock t.cond_mutex;
       force_batched t target
     end
@@ -93,10 +98,31 @@ let append_force t record =
   force t;
   lsn
 
-let durable_records t =
-  List.init (t.durable + 1) (fun i -> (i, t.records.(i)))
+(* Build the list back-to-front in one pass: no [List.init] closure and
+   no intermediate list, half the allocation for long logs. *)
+let records_upto t n =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((i, Array.unsafe_get t.records i) :: acc)
+  in
+  build (n - 1) []
 
-let all_records t = List.init t.size (fun i -> (i, t.records.(i)))
+let durable_records t = records_upto t (t.durable + 1)
+
+let all_records t = records_upto t t.size
+
+let iter_durable t f =
+  for i = 0 to t.durable do
+    f i (Array.unsafe_get t.records i)
+  done
+
+let fold_durable t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.durable do
+    acc := f !acc i (Array.unsafe_get t.records i)
+  done;
+  !acc
+
+let records_spooled t = t.size
 
 let crash t =
   (* the volatile tail is lost with the site's memory *)
@@ -111,7 +137,9 @@ let set_group_commit t flag = t.group_commit <- flag
 let rec wait_durable t lsn =
   if lsn > t.durable then begin
     Sync.Mutex.lock t.cond_mutex;
-    Sync.Condition.wait t.cond t.cond_mutex;
+    (* same re-check as [force_batched]: a write landing while this
+       fiber acquires the mutex must not be waited for again *)
+    if lsn > t.durable then Sync.Condition.wait t.cond t.cond_mutex;
     Sync.Mutex.unlock t.cond_mutex;
     wait_durable t lsn
   end

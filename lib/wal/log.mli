@@ -57,6 +57,19 @@ val durable_records : 'a t -> (lsn * 'a) list
 (** All records including the volatile tail (for tests). *)
 val all_records : 'a t -> (lsn * 'a) list
 
+(** [iter_durable t f] applies [f lsn record] to each durable record,
+    oldest first, without materialising a list — the allocation-free
+    way to scan a long log. *)
+val iter_durable : 'a t -> (lsn -> 'a -> unit) -> unit
+
+(** [fold_durable t ~init ~f] folds over the durable prefix, oldest
+    first, without materialising a list. *)
+val fold_durable : 'a t -> init:'acc -> f:('acc -> lsn -> 'a -> 'acc) -> 'acc
+
+(** Number of spooled records, including the volatile tail
+    ([tail_lsn t + 1]). *)
+val records_spooled : 'a t -> int
+
 (** Simulate the crash of the site: the volatile tail is lost. Called
     by the cluster's crash hook. *)
 val crash : 'a t -> unit

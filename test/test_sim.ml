@@ -42,6 +42,97 @@ let prop_heap_sorts =
       let popped = List.init (List.length floats) (fun _ -> Option.get (Heap.pop h)) in
       popped = List.sort compare floats)
 
+(* FasterHeaps-style invariant suite: every push/pop leaves a valid
+   heap ([isheap ~check:true] walks parent/child ordering and verifies
+   vacated slots are cleared), and a full drain pops in exact
+   [(priority, seq)] order — FIFO on ties. *)
+
+let test_heap_isheap_incremental () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty is a heap" true (Heap.isheap ~check:true h);
+  List.iteri
+    (fun i p ->
+      Heap.push h ~priority:p ~seq:i p;
+      Alcotest.(check bool)
+        (Printf.sprintf "heap after push %d" i)
+        true
+        (Heap.isheap ~check:true h))
+    [ 9.0; 1.0; 8.0; 1.0; 7.0; 1.0; 6.0; 2.0; 5.0; 3.0; 4.0; 0.0 ];
+  for i = 1 to 12 do
+    ignore (Heap.pop_exn h : float);
+    Alcotest.(check bool)
+      (Printf.sprintf "heap after pop %d" i)
+      true
+      (Heap.isheap ~check:true h)
+  done
+
+let test_heap_length_and_clear_reuse () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~priority:(float_of_int (9 - i)) ~seq:i i
+  done;
+  Alcotest.(check int) "length tracks pushes" 10 (Heap.length h);
+  ignore (Heap.pop h : int option);
+  Alcotest.(check int) "length tracks pops" 9 (Heap.length h);
+  Heap.clear h;
+  Alcotest.(check int) "clear empties" 0 (Heap.length h);
+  Alcotest.(check bool) "clear leaves a valid heap" true (Heap.isheap h);
+  (* a cleared heap is reusable *)
+  Heap.push h ~priority:1.0 ~seq:0 7;
+  Alcotest.(check (option int)) "reusable after clear" (Some 7) (Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h : int))
+
+let test_heap_min_accessors () =
+  let h = Heap.create () in
+  Heap.push h ~priority:3.0 ~seq:5 "b";
+  Heap.push h ~priority:1.0 ~seq:9 "a";
+  check_float "min priority" 1.0 (Heap.min_priority h);
+  Alcotest.(check int) "min seq" 9 (Heap.min_seq h)
+
+(* random interleavings of push and pop, checked move-for-move against
+   a reference model: every pop must return exactly the minimum by
+   [(priority, seq)] — FIFO on ties — and [isheap] must hold
+   throughout. [Some p] pushes priority [p] (0..7, so ties are
+   common), [None] pops. *)
+let prop_heap_random_ops =
+  QCheck.Test.make ~name:"heap matches reference model under random ops" ~count:300
+    QCheck.(list (option (int_bound 7)))
+    (fun ops ->
+      let h = Heap.create () in
+      let seq = ref 0 in
+      let model = ref [] in
+      let lt (p1, s1) (p2, s2) = p1 < p2 || (p1 = p2 && s1 < s2) in
+      let model_pop () =
+        match List.sort (fun a b -> if lt a b then -1 else 1) !model with
+        | [] -> None
+        | m :: _ ->
+            model := List.filter (fun e -> e <> m) !model;
+            Some m
+      in
+      let step op =
+        (match op with
+        | Some p ->
+            let entry = (float_of_int p, !seq) in
+            Heap.push h ~priority:(fst entry) ~seq:!seq entry;
+            model := entry :: !model;
+            incr seq
+        | None ->
+            if Heap.pop h <> model_pop () then
+              QCheck.Test.fail_report "pop disagrees with reference model");
+        if Heap.length h <> List.length !model then
+          QCheck.Test.fail_report "length disagrees with reference model";
+        if not (Heap.isheap ~check:true h) then
+          QCheck.Test.fail_report "isheap violated"
+      in
+      List.iter step ops;
+      (* drain: the remaining contents come out in exact model order *)
+      List.iter (fun _ -> step None) !model;
+      Heap.is_empty h)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -94,6 +185,119 @@ let test_engine_executed_counter () =
   done;
   Engine.run eng;
   Alcotest.(check int) "five events executed" 5 (Engine.executed eng)
+
+let test_engine_cancel_timer () =
+  let eng = Engine.create () in
+  let ran = ref [] in
+  let cancel = Engine.schedule_timer eng ~delay:5.0 (fun () -> ran := "t5" :: !ran) in
+  Engine.schedule eng ~delay:10.0 (fun () -> ran := "e10" :: !ran);
+  Alcotest.(check int) "both pending" 2 (Engine.pending eng);
+  cancel ();
+  Alcotest.(check int) "cancelled timer leaves pending" 1 (Engine.pending eng);
+  cancel ();
+  (* idempotent *)
+  Alcotest.(check int) "double cancel is a no-op" 1 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list string)) "only the live event ran" [ "e10" ] (List.rev !ran);
+  Alcotest.(check int) "cancelled timers are not executed" 1 (Engine.executed eng)
+
+let test_engine_timer_fires_then_cancel_noop () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let cancel = Engine.schedule_timer eng ~delay:1.0 (fun () -> incr fired) in
+  Engine.run eng;
+  Alcotest.(check int) "fired once" 1 !fired;
+  cancel ();
+  (* cancelling after the fact must not corrupt queue accounting *)
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending eng);
+  Engine.schedule eng ~delay:1.0 (fun () -> ());
+  Alcotest.(check int) "fresh event counted" 1 (Engine.pending eng);
+  Engine.run eng
+
+let test_engine_cancel_heavy_drains () =
+  let eng = Engine.create () in
+  let survivors = ref 0 in
+  for i = 1 to 100 do
+    let cancel =
+      Engine.schedule_timer eng ~delay:(float_of_int i) (fun () -> incr survivors)
+    in
+    if i mod 5 <> 0 then cancel ()
+  done;
+  Alcotest.(check int) "pending excludes tombstones" 20 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check int) "survivors all ran" 20 !survivors;
+  Alcotest.(check int) "executed counts only live timers" 20 (Engine.executed eng);
+  Alcotest.(check int) "queue fully drained" 0 (Engine.pending eng)
+
+let test_engine_zero_delay_fifo_vs_heap () =
+  (* the same-instant fast path must not jump ahead of an older event
+     sitting in the heap at the same timestamp: A (t=5, seq 0) runs and
+     schedules C with delay 0 (t=5, seq 2); B (t=5, seq 1) must still
+     run before C *)
+  let eng = Engine.create () in
+  let order = ref [] in
+  Engine.schedule eng ~delay:5.0 (fun () ->
+      order := "A" :: !order;
+      Engine.schedule eng ~delay:0.0 (fun () -> order := "C" :: !order));
+  Engine.schedule eng ~delay:5.0 (fun () -> order := "B" :: !order);
+  Engine.run eng;
+  Alcotest.(check (list string)) "global (time, seq) order" [ "A"; "B"; "C" ]
+    (List.rev !order)
+
+let test_engine_zero_delay_storm () =
+  let eng = Engine.create () in
+  let ran = ref 0 in
+  let rec chain n () =
+    if n > 0 then begin
+      incr ran;
+      Engine.schedule eng ~delay:0.0 (chain (n - 1))
+    end
+  in
+  Engine.schedule eng ~delay:3.0 (chain 500);
+  Engine.run eng;
+  Alcotest.(check int) "whole chain ran" 500 !ran;
+  check_float "clock pinned at the instant" 3.0 (Engine.now eng)
+
+let test_engine_zero_delay_fifo_among_themselves () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 50 do
+    Engine.schedule eng ~delay:0.0 (fun () -> order := i :: !order)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "insertion order" (List.init 50 (fun i -> i + 1))
+    (List.rev !order)
+
+(* randomized schedule/cancel sequences against a reference model of
+   the (time, seq) total order — validates the heap/ring merge *)
+let prop_engine_order_matches_model =
+  (* each element: (delay in 0..4, cancelled?) — delay 0 exercises the
+     ring lane, small range forces same-time collisions *)
+  QCheck.Test.make ~name:"engine executes in (time, seq) order under cancels"
+    ~count:200
+    QCheck.(list (pair (int_bound 4) bool))
+    (fun specs ->
+      let eng = Engine.create () in
+      let ran = ref [] in
+      let expected = ref [] in
+      List.iteri
+        (fun i (d, cancelled) ->
+          let delay = float_of_int d in
+          if cancelled then
+            let cancel = Engine.schedule_timer eng ~delay (fun () -> ran := i :: !ran) in
+            cancel ()
+          else begin
+            Engine.schedule eng ~delay (fun () -> ran := i :: !ran);
+            expected := (delay, i) :: !expected
+          end)
+        specs;
+      Engine.run eng;
+      let model =
+        List.sort
+          (fun (t1, s1) (t2, s2) -> compare (t1, s1) (t2, s2))
+          !expected
+      in
+      List.rev !ran = List.map snd model)
 
 (* ------------------------------------------------------------------ *)
 (* Fiber *)
@@ -516,8 +720,14 @@ let () =
           Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty heap" `Quick test_heap_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "isheap holds push by push" `Quick
+            test_heap_isheap_incremental;
+          Alcotest.test_case "length and clear reuse" `Quick
+            test_heap_length_and_clear_reuse;
+          Alcotest.test_case "pop_exn on empty rejected" `Quick test_heap_pop_exn_empty;
+          Alcotest.test_case "min accessors" `Quick test_heap_min_accessors;
         ]
-        @ qcheck [ prop_heap_sorts ] );
+        @ qcheck [ prop_heap_sorts; prop_heap_random_ops ] );
       ( "engine",
         [
           Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
@@ -527,7 +737,18 @@ let () =
           Alcotest.test_case "schedule_at clamps past times" `Quick
             test_engine_schedule_at_past_clamps;
           Alcotest.test_case "executed counter" `Quick test_engine_executed_counter;
-        ] );
+          Alcotest.test_case "timer cancel" `Quick test_engine_cancel_timer;
+          Alcotest.test_case "cancel after fire is no-op" `Quick
+            test_engine_timer_fires_then_cancel_noop;
+          Alcotest.test_case "cancel-heavy queue drains" `Quick
+            test_engine_cancel_heavy_drains;
+          Alcotest.test_case "zero-delay respects older heap events" `Quick
+            test_engine_zero_delay_fifo_vs_heap;
+          Alcotest.test_case "zero-delay storm" `Quick test_engine_zero_delay_storm;
+          Alcotest.test_case "zero-delay FIFO" `Quick
+            test_engine_zero_delay_fifo_among_themselves;
+        ]
+        @ qcheck [ prop_engine_order_matches_model ] );
       ( "fiber",
         [
           Alcotest.test_case "sleep advances clock" `Quick test_fiber_sleep;

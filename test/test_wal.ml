@@ -153,6 +153,57 @@ let test_records_accessors () =
     [ (0, "a"); (1, "b") ]
     (Log.all_records log)
 
+let test_follower_target_covered_by_inflight_write () =
+  (* lost-wakeup regression: a follower whose force target is exactly
+     the LSN the in-flight leader write will cover must be released by
+     that write's broadcast — one disk write, done at 15 — rather than
+     waiting for a second write that will never be issued *)
+  let eng, _, log = make_log ~group_commit:true () in
+  let follower_done = ref nan in
+  Fiber.spawn eng (fun () ->
+      ignore (Log.append log "leader" : int);
+      Log.force log);
+  Fiber.spawn eng (fun () ->
+      (* runs after the leader has claimed the write but before the
+         I/O is issued: the record spools into the leader's batch *)
+      ignore (Log.append log "follower" : int);
+      Log.force log;
+      follower_done := Fiber.now ());
+  Engine.run eng;
+  check_float "released by the covering write" 15.0 !follower_done;
+  Alcotest.(check int) "one disk write" 1 (Log.disk_writes log);
+  Alcotest.(check int) "both records durable" 1 (Log.durable_lsn log)
+
+let test_staggered_forces_all_complete () =
+  (* lost-wakeup regression: forces arriving before, during, and after
+     each write must all terminate; a dropped broadcast would leave a
+     fiber suspended forever and the final count short *)
+  let eng, _, log = make_log ~group_commit:true () in
+  let finished = ref 0 in
+  List.iter
+    (fun delay ->
+      Fiber.spawn eng (fun () ->
+          Fiber.sleep delay;
+          ignore (Log.append log (Printf.sprintf "r@%.0f" delay) : int);
+          Log.force log;
+          incr finished))
+    [ 0.0; 0.0; 5.0; 14.0; 16.0; 29.0 ];
+  Engine.run eng;
+  Alcotest.(check int) "every force returned" 6 !finished;
+  Alcotest.(check int) "everything durable" 5 (Log.durable_lsn log);
+  Alcotest.(check int) "no event left pending" 0 (Engine.pending eng)
+
+let test_wait_durable_already_durable () =
+  let eng, _, log = make_log () in
+  let waited =
+    Fiber.run eng (fun () ->
+        let lsn = Log.append_force log "a" in
+        let t0 = Fiber.now () in
+        Log.wait_durable log lsn;
+        Fiber.now () -. t0)
+  in
+  check_float "returns without waiting" 0.0 waited
+
 let test_throughput_cap_without_batching () =
   (* the §3.5 argument: a 15ms force caps an unbatched log at ~66
      writes/s; group commit with many concurrent committers beats it *)
@@ -215,6 +266,12 @@ let () =
           Alcotest.test_case "wait_durable via flusher" `Quick test_wait_durable_via_flusher;
           Alcotest.test_case "crash loses volatile tail" `Quick test_crash_loses_tail;
           Alcotest.test_case "record accessors" `Quick test_records_accessors;
+          Alcotest.test_case "follower covered by in-flight write" `Quick
+            test_follower_target_covered_by_inflight_write;
+          Alcotest.test_case "staggered forces all complete" `Quick
+            test_staggered_forces_all_complete;
+          Alcotest.test_case "wait_durable already durable" `Quick
+            test_wait_durable_already_durable;
           Alcotest.test_case "group commit throughput (§3.5)" `Quick
             test_throughput_cap_without_batching;
         ] );
