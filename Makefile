@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke fmt-check
+.PHONY: build test check bench bench-smoke bench-compare fmt-check
 
 build:
 	dune build
@@ -6,13 +6,23 @@ build:
 test:
 	dune runtest
 
+# The one-stop gate: compile everything, run the test suite, refresh
+# the quick perf baseline.
+check: build test bench-smoke
+
 bench:
 	dune exec bench/main.exe
 
 # Fast CI-friendly pass: one-shot timings for every microbenchmark plus
-# the Part-1 reproduction wall clock, written as BENCH_1.json.
+# the Part-1 reproduction wall clock, written as BENCH_2.json
+# (BENCH_1.json is the committed seed baseline it is compared against).
 bench-smoke:
-	dune exec bench/main.exe -- --quick --json BENCH_1.json
+	dune exec bench/main.exe -- --quick --json BENCH_2.json
+
+# Fail if any microbenchmark present in both baselines got more than
+# 25% slower than the seed.
+bench-compare:
+	dune exec bench/compare.exe -- BENCH_1.json BENCH_2.json
 
 # Formatting gate. The container may not ship ocamlformat; skip (with a
 # note) rather than fail when the tool is absent.

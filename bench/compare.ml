@@ -1,0 +1,115 @@
+(* Compare two camelot-bench baselines and fail on perf regressions.
+
+   Usage: compare.exe OLD.json NEW.json [--threshold 1.25]
+
+   Reads the "benchmarks_ns_per_run" section of each file (the flat
+   name -> ns map [main.ml] writes; a full JSON parser would be a
+   dependency for nothing) and flags every benchmark present in both
+   whose new/old ratio exceeds the threshold. Benchmarks appearing in
+   only one file are listed but never fail the run, so adding or
+   retiring a benchmark does not break the guard. Exits 1 iff some
+   shared benchmark regressed. *)
+
+let usage () =
+  prerr_endline "usage: compare.exe OLD.json NEW.json [--threshold RATIO]";
+  exit 2
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+(* "  \"name\": 123.456," -> Some (name, Some 123.456) *)
+let parse_entry line =
+  match String.index_opt line '"' with
+  | None -> None
+  | Some q0 -> (
+      match String.index_from_opt line (q0 + 1) '"' with
+      | None -> None
+      | Some q1 -> (
+          let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+          match String.index_from_opt line q1 ':' with
+          | None -> None
+          | Some c ->
+              let v =
+                String.trim (String.sub line (c + 1) (String.length line - c - 1))
+              in
+              let v =
+                if String.length v > 0 && v.[String.length v - 1] = ',' then
+                  String.sub v 0 (String.length v - 1)
+                else v
+              in
+              Some (name, float_of_string_opt v)))
+
+let benchmarks path =
+  let ic = try open_in path with Sys_error e -> prerr_endline e; exit 2 in
+  let rec skip () =
+    match input_line ic with
+    | exception End_of_file ->
+        Printf.eprintf "%s: no benchmarks_ns_per_run section\n" path;
+        exit 2
+    | line -> if not (contains_sub line "\"benchmarks_ns_per_run\"") then skip ()
+  in
+  skip ();
+  let rec collect acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> (
+        let trimmed = String.trim line in
+        if trimmed = "}" || trimmed = "}," then List.rev acc
+        else
+          match parse_entry line with
+          | Some (name, Some v) -> collect ((name, v) :: acc)
+          | Some (_, None) | None -> collect acc)
+  in
+  let entries = collect [] in
+  close_in ic;
+  entries
+
+let () =
+  let threshold = ref 1.25 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | Some _ | None -> usage ());
+        parse_args rest
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
+  in
+  let old_b = benchmarks old_path and new_b = benchmarks new_path in
+  let regressions = ref 0 in
+  Printf.printf "%-55s %14s %14s %8s\n" "BENCH" "OLD ns" "NEW ns" "RATIO";
+  List.iter
+    (fun (name, nv) ->
+      match List.assoc_opt name old_b with
+      | None -> Printf.printf "%-55s %14s %14.1f %8s\n" name "-" nv "new"
+      | Some ov ->
+          let ratio = nv /. ov in
+          let flag =
+            if ratio > !threshold then begin
+              incr regressions;
+              "  <-- REGRESSION"
+            end
+            else ""
+          in
+          Printf.printf "%-55s %14.1f %14.1f %7.2fx%s\n" name ov nv ratio flag)
+    new_b;
+  List.iter
+    (fun (name, ov) ->
+      if not (List.mem_assoc name new_b) then
+        Printf.printf "%-55s %14.1f %14s %8s\n" name ov "-" "gone")
+    old_b;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d benchmark(s) slower than %.2fx the %s baseline.\n"
+      !regressions !threshold old_path;
+    exit 1
+  end
+  else Printf.printf "\nNo regression beyond %.2fx against %s.\n" !threshold old_path

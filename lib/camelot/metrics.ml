@@ -66,6 +66,20 @@ let collect cluster =
     datagrams_dropped = Camelot_net.Lan.dropped lan;
   }
 
+let sum_sites f t = List.fold_left (fun acc s -> acc + f s) 0 t.sites
+
+let total_committed = sum_sites (fun s -> s.committed)
+let total_aborted = sum_sites (fun s -> s.aborted)
+let total_log_forces = sum_sites (fun s -> s.log_forces)
+let total_disk_writes = sum_sites (fun s -> s.disk_writes)
+
+let per_commit total t =
+  let committed = total_committed t in
+  if committed = 0 then 0.0 else float_of_int total /. float_of_int committed
+
+let forces_per_commit t = per_commit (total_log_forces t) t
+let disk_writes_per_commit t = per_commit (total_disk_writes t) t
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>elapsed %.1f ms; datagrams sent %d, delivered %d, dropped %d@,"
     t.elapsed_ms t.datagrams_sent t.datagrams_delivered t.datagrams_dropped;

@@ -33,4 +33,19 @@ type t = {
 (** Snapshot the cluster's counters. *)
 val collect : Cluster.t -> t
 
+(** {1 Cluster-wide totals} *)
+
+val total_committed : t -> int
+val total_aborted : t -> int
+val total_log_forces : t -> int
+val total_disk_writes : t -> int
+
+(** Forces (resp. physical writes) divided by committed transactions,
+    over the whole cluster; [0.] when nothing committed. The paper's
+    group-commit question — how many log forces does one commit cost —
+    read straight off a snapshot. *)
+val forces_per_commit : t -> float
+
+val disk_writes_per_commit : t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -130,7 +130,7 @@ let coordinate st fam =
             unregister_waiter st tid;
             adopted
         | None ->
-            if votes.Two_phase.refused || votes.Two_phase.pending <> [] then begin
+            if votes.Two_phase.refused || votes.Two_phase.n_pending > 0 then begin
               (* no replication data exists anywhere yet: abort is
                  still unilateral, as in presumed-abort 2PC *)
               unregister_waiter st tid;

@@ -142,11 +142,11 @@ type t = {
   directory : (Site.id, Protocol.t Camelot_net.Lan.endpoint) Hashtbl.t;
   mutable endpoint : Protocol.t Camelot_net.Lan.endpoint option;
   mutable pool : Thread_pool.t option;
-  families : (Site.id * int, family) Hashtbl.t;
+  families : (int, family) Hashtbl.t;  (* keyed by Tid.family_key *)
   families_mutex : Sync.Mutex.t;
   servers : (string, server_callbacks) Hashtbl.t;
   mutable next_seq : int;
-  waiters : (Site.id * int, Protocol.t Mailbox.t) Hashtbl.t;
+  waiters : (int, Protocol.t Mailbox.t) Hashtbl.t;  (* keyed by Tid.family_key *)
   stats : stats;
   trace : Trace.t;
 }
@@ -177,7 +177,7 @@ let charge_cpu st =
 (* ------------------------------------------------------------------ *)
 (* Families *)
 
-let family_key tid = Tid.family tid
+let family_key tid = Tid.family_key tid
 
 let find_family st tid = Hashtbl.find_opt st.families (family_key tid)
 

@@ -113,11 +113,12 @@ type t = {
   directory : (Site.id, Protocol.t Camelot_net.Lan.endpoint) Hashtbl.t;
   mutable endpoint : Protocol.t Camelot_net.Lan.endpoint option;
   mutable pool : Thread_pool.t option;
-  families : (Site.id * int, family) Hashtbl.t;
+  families : (int, family) Hashtbl.t;  (** keyed by {!Tid.family_key} *)
   families_mutex : Sync.Mutex.t;
   servers : (string, server_callbacks) Hashtbl.t;
   mutable next_seq : int;
-  waiters : (Site.id * int, Protocol.t Mailbox.t) Hashtbl.t;
+  waiters : (int, Protocol.t Mailbox.t) Hashtbl.t;
+      (** keyed by {!Tid.family_key} *)
   stats : stats;
   trace : Trace.t;
 }
@@ -139,7 +140,7 @@ val charge_cpu : t -> unit
 
 (** {1 Families} *)
 
-val family_key : Tid.t -> Site.id * int
+val family_key : Tid.t -> int
 val find_family : t -> Tid.t -> family option
 val new_family : t -> root:Tid.t -> role:role -> protocol:Protocol.commit_protocol -> family
 

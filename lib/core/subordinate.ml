@@ -18,9 +18,8 @@ open State
 let apply_commit st fam ~ack_to =
   let tid = fam.f_root in
   let coordinator = ack_to in
-  let ack () =
-    Protocol.Outcome_ack { m_tid = tid; m_from = me st }
-  in
+  let ack = Protocol.Outcome_ack { m_tid = tid; m_from = me st } in
+  let commit_rec = Record.Commit { c_tid = tid; c_sites = [] } in
   resolve_family st fam Protocol.Committed;
   if
     fam.f_protocol = Protocol.Two_phase
@@ -30,7 +29,7 @@ let apply_commit st fam ~ack_to =
        need never be forced (an inquiry to a forgotten coordinator
        presumes commit anyway) *)
     drop_local_locks st fam;
-    ignore (log_append st (Record.Commit { c_tid = tid; c_sites = [] }) : int)
+    ignore (log_append st commit_rec : int)
   end
   else
   match st.config.two_phase_variant with
@@ -38,20 +37,20 @@ let apply_commit st fam ~ack_to =
       (* locks drop immediately; the commit record is spooled and the
          ack waits until some later force or the flusher lands it *)
       drop_local_locks st fam;
-      let lsn = log_append st (Record.Commit { c_tid = tid; c_sites = [] }) in
+      let lsn = log_append st commit_rec in
       Site.spawn st.site ~name:"commit-ack" (fun () ->
           Camelot_wal.Log.wait_durable st.log lsn;
-          send_piggybacked st ~dst:coordinator (ack ()))
+          send_piggybacked st ~dst:coordinator ack)
   | Semi_optimized ->
-      ignore (log_append_force st (Record.Commit { c_tid = tid; c_sites = [] }) : int);
+      ignore (log_append_force st commit_rec : int);
       drop_local_locks st fam;
       Site.spawn st.site ~name:"commit-ack" (fun () ->
           Fiber.sleep st.config.piggyback_delay_ms;
-          send_piggybacked st ~dst:coordinator (ack ()))
+          send_piggybacked st ~dst:coordinator ack)
   | Unoptimized ->
-      ignore (log_append_force st (Record.Commit { c_tid = tid; c_sites = [] }) : int);
+      ignore (log_append_force st commit_rec : int);
       drop_local_locks st fam;
-      send st ~dst:coordinator (ack ())
+      send st ~dst:coordinator ack
 
 let apply_abort st fam =
   resolve_family st fam Protocol.Aborted;

@@ -84,7 +84,9 @@ let create site ~lan ~log ~directory ~config =
           n_heuristic = 0;
           n_heuristic_damage = 0;
         };
-      trace = Trace.create ();
+      (* disabled by default: the commit hot path must not pay for
+         formatting; enable via [Trace.set_enabled (trace tm) true] *)
+      trace = Trace.create ~enabled:false ();
     }
   in
   start st;
@@ -323,7 +325,7 @@ let recover st =
   let ends = Hashtbl.create 16 in
   Camelot_wal.Log.iter_durable st.log (fun _ r ->
       match r with
-      | Record.End { e_tid } -> Hashtbl.replace ends (Tid.family e_tid) ()
+      | Record.End { e_tid } -> Hashtbl.replace ends (Tid.family_key e_tid) ()
       | _ -> ());
   Camelot_wal.Log.iter_durable st.log (fun _ r ->
       match r with

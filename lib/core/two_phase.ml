@@ -91,22 +91,41 @@ let note_outcome_ack (_ : State.t) fam ~from =
    (the §2 rule: if some operation fails to respond, abort — here for
    the voting phase). *)
 type votes = {
-  mutable pending : Camelot_mach.Site.id list;
+  pending : Camelot_mach.Site.id array;
+  mutable n_pending : int;
   mutable read_only_subs : Camelot_mach.Site.id list;
   mutable refused : bool;
 }
 
+let votes_pending votes = Array.to_list (Array.sub votes.pending 0 votes.n_pending)
+
 let collect_votes st fam mb ~subs ~prepare_msg =
   let tid = fam.f_root in
-  let votes = { pending = subs; read_only_subs = []; refused = false } in
+  let votes =
+    {
+      pending = Array.of_list subs;
+      n_pending = List.length subs;
+      read_only_subs = [];
+      refused = false;
+    }
+  in
+  (* shift-removal keeps the laggards in [subs] order, so a revote
+     fans out prepares in the same site order as the first round *)
   let note_yes ~from ~read_only =
-    if List.mem from votes.pending then begin
-      votes.pending <- List.filter (fun s -> s <> from) votes.pending;
+    let rec idx i =
+      if i >= votes.n_pending then -1
+      else if votes.pending.(i) = from then i
+      else idx (i + 1)
+    in
+    let i = idx 0 in
+    if i >= 0 then begin
+      Array.blit votes.pending (i + 1) votes.pending i (votes.n_pending - i - 1);
+      votes.n_pending <- votes.n_pending - 1;
       if read_only then votes.read_only_subs <- from :: votes.read_only_subs
     end
   in
   let rec wait_round retries =
-    if votes.pending = [] || votes.refused then ()
+    if votes.n_pending = 0 || votes.refused then ()
     else
       match Mailbox.recv_timeout mb st.config.vote_timeout_ms with
       | Some (Protocol.Vote { m_from; m_vote; _ }) -> (
@@ -127,8 +146,8 @@ let collect_votes st fam mb ~subs ~prepare_msg =
           if fam.f_outcome <> None || retries >= st.config.max_vote_retries then ()
           else begin
             tracef st "vote" "%a: revoting %d subordinate(s)" Tid.pp tid
-              (List.length votes.pending);
-            fan_out st ~dsts:votes.pending prepare_msg;
+              votes.n_pending;
+            fan_out st ~dsts:(votes_pending votes) prepare_msg;
             wait_round (retries + 1)
           end
   in
@@ -171,7 +190,7 @@ let coordinate st fam =
         in
         fan_out st ~dsts:subs prepare_msg;
         let votes = collect_votes st fam mb ~subs ~prepare_msg in
-        if votes.refused || votes.pending <> [] then begin
+        if votes.refused || votes.n_pending > 0 then begin
           unregister_waiter st tid;
           abort_distributed st fam ~subs
         end

@@ -28,12 +28,17 @@ val start_notify :
 (** Dispatcher hook: a commit-ack arrived. *)
 val note_outcome_ack : State.t -> State.family -> from:Camelot_mach.Site.id -> unit
 
-(** Mutable result of a vote-collection round. *)
+(** Mutable result of a vote-collection round. The laggard set lives
+    in [pending.(0 .. n_pending-1)], in original [subs] order. *)
 type votes = {
-  mutable pending : Camelot_mach.Site.id list;  (** no vote received *)
+  pending : Camelot_mach.Site.id array;
+  mutable n_pending : int;  (** how many still owe a vote *)
   mutable read_only_subs : Camelot_mach.Site.id list;
   mutable refused : bool;  (** somebody voted no *)
 }
+
+(** The sites still owing a vote, as a fresh list. *)
+val votes_pending : votes -> Camelot_mach.Site.id list
 
 (** Collect votes from [subs] on the registered waiter mailbox,
     re-sending [prepare_msg] to laggards up to the configured retry

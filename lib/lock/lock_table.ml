@@ -6,23 +6,42 @@ let pp_mode ppf = function
   | Shared -> Format.pp_print_string ppf "S"
   | Exclusive -> Format.pp_print_string ppf "X"
 
+let no_timer () = ()
+
 type 'o waiter = {
   w_owner : 'o;
   w_mode : mode;
   w_resume : unit Fiber.resumer;
   mutable w_abandoned : bool;  (* timed out *)
+  mutable w_cancel : unit -> unit;  (* cancels the pending timeout timer *)
 }
 
+(* One interned entry per key. Entries are never removed, so the
+   per-owner index can hold direct entry references and a release
+   never re-hashes the key string. Holder sets are small (a handful of
+   family members), so parallel arrays with linear scans beat assoc
+   lists on both allocation and locality. *)
 type 'o entry = {
-  mutable holders : ('o * mode) list;
+  e_key : string;
+  e_hash : int;
+  mutable h_owners : 'o array;
+  mutable h_modes : mode array;
+  mutable h_len : int;
   queue : 'o waiter Queue.t;
+}
+
+(* Entries currently held by one owner (append-only between releases). *)
+type 'o owned = {
+  mutable o_entries : 'o entry array;
+  mutable o_len : int;
 }
 
 type 'o t = {
   eng : Engine.t;
   is_ancestor : 'o -> 'o -> bool;
-  entries : (string, 'o entry) Hashtbl.t;
-  owner_keys : ('o, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable slots : 'o entry option array;  (* open-addressed, power of two *)
+  mutable n_entries : int;
+  owners : ('o, 'o owned) Hashtbl.t;
   mutable grants : int;
   mutable contended_grants : int;
 }
@@ -31,86 +50,165 @@ let create eng ~is_ancestor =
   {
     eng;
     is_ancestor;
-    entries = Hashtbl.create 64;
-    owner_keys = Hashtbl.create 64;
+    slots = Array.make 64 None;
+    n_entries = 0;
+    owners = Hashtbl.create 64;
     grants = 0;
     contended_grants = 0;
   }
 
+(* Linear probing; returns the key's slot or the insertion point. *)
+let probe slots h key =
+  let mask = Array.length slots - 1 in
+  let rec go i =
+    let j = (h + i) land mask in
+    match slots.(j) with
+    | None -> j
+    | Some e when e.e_hash = h && String.equal e.e_key key -> j
+    | Some _ -> go (i + 1)
+  in
+  go 0
+
+let resize t =
+  let slots = Array.make (2 * Array.length t.slots) None in
+  let mask = Array.length slots - 1 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some e as s ->
+          let rec place i =
+            let j = (e.e_hash + i) land mask in
+            if slots.(j) = None then slots.(j) <- s else place (i + 1)
+          in
+          place 0)
+    t.slots;
+  t.slots <- slots
+
 let entry t key =
-  match Hashtbl.find_opt t.entries key with
+  let h = Hashtbl.hash key in
+  let j = probe t.slots h key in
+  match t.slots.(j) with
   | Some e -> e
   | None ->
-      let e = { holders = []; queue = Queue.create () } in
-      Hashtbl.replace t.entries key e;
+      let e =
+        { e_key = key; e_hash = h; h_owners = [||]; h_modes = [||]; h_len = 0;
+          queue = Queue.create () }
+      in
+      t.slots.(j) <- Some e;
+      t.n_entries <- t.n_entries + 1;
+      if 2 * t.n_entries >= Array.length t.slots then resize t;
       e
 
-let index_add t owner key =
-  let keys =
-    match Hashtbl.find_opt t.owner_keys owner with
-    | Some keys -> keys
-    | None ->
-        let keys = Hashtbl.create 8 in
-        Hashtbl.replace t.owner_keys owner keys;
-        keys
+let find_entry t key =
+  let h = Hashtbl.hash key in
+  t.slots.(probe t.slots h key)
+
+(* --- holder sets --------------------------------------------------- *)
+
+let holder_idx e owner =
+  let rec go i =
+    if i >= e.h_len then -1 else if e.h_owners.(i) = owner then i else go (i + 1)
   in
-  Hashtbl.replace keys key ()
+  go 0
 
-let index_remove t owner key =
-  match Hashtbl.find_opt t.owner_keys owner with
-  | None -> ()
-  | Some keys ->
-      Hashtbl.remove keys key;
-      if Hashtbl.length keys = 0 then Hashtbl.remove t.owner_keys owner
+let held_mode e owner =
+  let i = holder_idx e owner in
+  if i < 0 then None else Some e.h_modes.(i)
 
-let held_mode entry owner =
-  List.assoc_opt owner entry.holders
+let holder_add e owner mode =
+  if e.h_len = Array.length e.h_owners then begin
+    let cap = if e.h_len = 0 then 4 else 2 * e.h_len in
+    let owners = Array.make cap owner and modes = Array.make cap mode in
+    Array.blit e.h_owners 0 owners 0 e.h_len;
+    Array.blit e.h_modes 0 modes 0 e.h_len;
+    e.h_owners <- owners;
+    e.h_modes <- modes
+  end;
+  e.h_owners.(e.h_len) <- owner;
+  e.h_modes.(e.h_len) <- mode;
+  e.h_len <- e.h_len + 1
+
+(* Swap-remove; repoint the vacated slot at a live owner so the array
+   never retains a released one beyond [h_len]. *)
+let holder_remove_at e i =
+  let last = e.h_len - 1 in
+  e.h_owners.(i) <- e.h_owners.(last);
+  e.h_modes.(i) <- e.h_modes.(last);
+  if last > 0 then e.h_owners.(last) <- e.h_owners.(0);
+  e.h_len <- last
+
+(* --- per-owner index ----------------------------------------------- *)
+
+(* Only called when [owner] newly becomes a holder of [e], so the
+   vector never holds duplicates. *)
+let owned_add t owner e =
+  let o =
+    match Hashtbl.find_opt t.owners owner with
+    | Some o -> o
+    | None ->
+        let o = { o_entries = [||]; o_len = 0 } in
+        Hashtbl.replace t.owners owner o;
+        o
+  in
+  if o.o_len = Array.length o.o_entries then begin
+    let cap = if o.o_len = 0 then 4 else 2 * o.o_len in
+    let bigger = Array.make cap e in
+    Array.blit o.o_entries 0 bigger 0 o.o_len;
+    o.o_entries <- bigger
+  end;
+  o.o_entries.(o.o_len) <- e;
+  o.o_len <- o.o_len + 1
+
+(* --- grant rules --------------------------------------------------- *)
 
 (* Moss nesting rules. [Exclusive]: every other holder must be an
    ancestor of the requester. [Shared]: every other [Exclusive] holder
    must be an ancestor. The requester's own holding never conflicts. *)
-let compatible t entry ~owner mode =
-  List.for_all
-    (fun (holder, held) ->
-      holder = owner
-      || t.is_ancestor holder owner
-      ||
-      match (mode, held) with
-      | Shared, Shared -> true
-      | Shared, Exclusive | Exclusive, (Shared | Exclusive) -> false)
-    entry.holders
+let compatible t e ~owner mode =
+  let rec go i =
+    i >= e.h_len
+    || (let holder = e.h_owners.(i) in
+        (holder = owner
+        || t.is_ancestor holder owner
+        ||
+        match (mode, e.h_modes.(i)) with
+        | Shared, Shared -> true
+        | Shared, Exclusive | Exclusive, (Shared | Exclusive) -> false)
+        && go (i + 1))
+  in
+  go 0
 
 let stronger_or_equal have want =
   match (have, want) with
   | Exclusive, (Shared | Exclusive) | Shared, Shared -> true
   | Shared, Exclusive -> false
 
-let record_grant t entry ~owner ~key mode ~waited =
-  let holders = List.remove_assoc owner entry.holders in
-  let mode =
-    match held_mode entry owner with
-    | Some prior when stronger_or_equal prior mode -> prior
-    | Some _ | None -> mode
-  in
-  entry.holders <- (owner, mode) :: holders;
-  index_add t owner key;
+let record_grant t e ~owner mode ~waited =
+  (match holder_idx e owner with
+  | -1 ->
+      holder_add e owner mode;
+      owned_add t owner e
+  | i -> if not (stronger_or_equal e.h_modes.(i) mode) then e.h_modes.(i) <- mode);
   t.grants <- t.grants + 1;
   if waited then t.contended_grants <- t.contended_grants + 1
 
 (* Wake queued waiters FIFO, stopping at the first one that still
-   cannot be granted (no overtaking). *)
-let pump t entry ~key =
+   cannot be granted (no overtaking). A popped waiter's timeout timer
+   is cancelled so it never fires into the engine queue. *)
+let pump t e =
   let rec loop () =
-    match Queue.peek_opt entry.queue with
+    match Queue.peek_opt e.queue with
     | None -> ()
     | Some w ->
         if w.w_abandoned || not (Fiber.is_pending w.w_resume) then begin
-          ignore (Queue.pop entry.queue : 'o waiter);
+          ignore (Queue.pop e.queue : 'o waiter);
+          w.w_cancel ();
           loop ()
         end
-        else if compatible t entry ~owner:w.w_owner w.w_mode then begin
-          ignore (Queue.pop entry.queue : 'o waiter);
-          record_grant t entry ~owner:w.w_owner ~key w.w_mode ~waited:true;
+        else if compatible t e ~owner:w.w_owner w.w_mode then begin
+          ignore (Queue.pop e.queue : 'o waiter);
+          w.w_cancel ();
+          record_grant t e ~owner:w.w_owner w.w_mode ~waited:true;
           Fiber.resume w.w_resume (Ok ());
           loop ()
         end
@@ -123,11 +221,10 @@ let acquire_opt t ~owner ~key mode ~timeout =
   | Some prior when stronger_or_equal prior mode -> true
   | Some _ | None ->
       if Queue.is_empty e.queue && compatible t e ~owner mode then begin
-        record_grant t e ~owner ~key mode ~waited:false;
+        record_grant t e ~owner mode ~waited:false;
         true
       end
       else begin
-        let granted = ref false in
         Fiber.suspend (fun resume ->
             let w =
               {
@@ -135,28 +232,33 @@ let acquire_opt t ~owner ~key mode ~timeout =
                 w_mode = mode;
                 w_resume = resume;
                 w_abandoned = false;
+                w_cancel = no_timer;
               }
             in
             Queue.add w e.queue;
             (* the new waiter may be grantable right away if everything
                ahead of it is dead *)
-            pump t e ~key;
+            pump t e;
             match timeout with
             | None -> ()
             | Some d ->
-                Engine.schedule t.eng ~delay:d (fun () ->
-                    if (not w.w_abandoned) && Fiber.is_pending w.w_resume then begin
-                      match held_mode e w.w_owner with
-                      | Some m when stronger_or_equal m w.w_mode -> ()
-                      | Some _ | None ->
-                          w.w_abandoned <- true;
-                          Fiber.resume w.w_resume (Ok ());
-                          pump t e ~key
-                    end));
-        (match held_mode e owner with
-        | Some m when stronger_or_equal m mode -> granted := true
-        | Some _ | None -> granted := false);
-        !granted
+                (* skip the timer entirely if the pump above already
+                   granted (the resume fires synchronously) *)
+                if (not w.w_abandoned) && Fiber.is_pending w.w_resume then
+                  w.w_cancel <-
+                    Engine.schedule_timer t.eng ~delay:d (fun () ->
+                        if (not w.w_abandoned) && Fiber.is_pending w.w_resume
+                        then begin
+                          match held_mode e w.w_owner with
+                          | Some m when stronger_or_equal m w.w_mode -> ()
+                          | Some _ | None ->
+                              w.w_abandoned <- true;
+                              Fiber.resume w.w_resume (Ok ());
+                              pump t e
+                        end));
+        match held_mode e owner with
+        | Some m when stronger_or_equal m mode -> true
+        | Some _ | None -> false
       end
 
 let acquire t ~owner ~key mode =
@@ -186,69 +288,70 @@ let try_acquire t ~owner ~key mode =
   | Some prior when stronger_or_equal prior mode -> true
   | Some _ | None ->
       if Queue.is_empty e.queue && compatible t e ~owner mode then begin
-        record_grant t e ~owner ~key mode ~waited:false;
+        record_grant t e ~owner mode ~waited:false;
         true
       end
       else false
 
 let held t ~owner ~key =
-  match Hashtbl.find_opt t.entries key with
-  | None -> None
-  | Some e -> held_mode e owner
-
-let release_key t ~owner ~key =
-  match Hashtbl.find_opt t.entries key with
-  | None -> ()
-  | Some e ->
-      e.holders <- List.remove_assoc owner e.holders;
-      index_remove t owner key;
-      pump t e ~key
+  match find_entry t key with None -> None | Some e -> held_mode e owner
 
 let release_all t ~owner =
-  match Hashtbl.find_opt t.owner_keys owner with
+  match Hashtbl.find_opt t.owners owner with
   | None -> ()
-  | Some keys ->
-      let all = Hashtbl.fold (fun key () acc -> key :: acc) keys [] in
-      List.iter (fun key -> release_key t ~owner ~key) all
+  | Some o ->
+      Hashtbl.remove t.owners owner;
+      for i = 0 to o.o_len - 1 do
+        let e = o.o_entries.(i) in
+        let j = holder_idx e owner in
+        if j >= 0 then holder_remove_at e j;
+        pump t e
+      done
 
 let transfer t ~from_ ~to_ =
   if from_ <> to_ then
-    match Hashtbl.find_opt t.owner_keys from_ with
+    match Hashtbl.find_opt t.owners from_ with
     | None -> ()
-    | Some keys ->
-        let all = Hashtbl.fold (fun key () acc -> key :: acc) keys [] in
-        List.iter
-          (fun key ->
-            match Hashtbl.find_opt t.entries key with
-            | None -> ()
-            | Some e -> (
-                match held_mode e from_ with
-                | None -> ()
-                | Some from_mode ->
-                    let merged =
-                      match held_mode e to_ with
-                      | Some to_mode when stronger_or_equal to_mode from_mode ->
-                          to_mode
-                      | Some _ | None -> from_mode
-                    in
-                    e.holders <-
-                      (to_, merged)
-                      :: List.remove_assoc to_ (List.remove_assoc from_ e.holders);
-                    index_remove t from_ key;
-                    index_add t to_ key;
-                    pump t e ~key))
-          all
+    | Some o ->
+        Hashtbl.remove t.owners from_;
+        for i = 0 to o.o_len - 1 do
+          let e = o.o_entries.(i) in
+          let fi = holder_idx e from_ in
+          if fi >= 0 then begin
+            let from_mode = e.h_modes.(fi) in
+            (match holder_idx e to_ with
+            | -1 ->
+                (* retag the holding in place; the mode carries over *)
+                e.h_owners.(fi) <- to_;
+                owned_add t to_ e
+            | ti ->
+                if not (stronger_or_equal e.h_modes.(ti) from_mode) then
+                  e.h_modes.(ti) <- from_mode;
+                holder_remove_at e fi);
+            pump t e
+          end
+        done
 
 let holders t ~key =
-  match Hashtbl.find_opt t.entries key with None -> [] | Some e -> e.holders
+  match find_entry t key with
+  | None -> []
+  | Some e ->
+      let rec go i acc =
+        if i < 0 then acc else go (i - 1) ((e.h_owners.(i), e.h_modes.(i)) :: acc)
+      in
+      go (e.h_len - 1) []
 
 let keys_of t ~owner =
-  match Hashtbl.find_opt t.owner_keys owner with
+  match Hashtbl.find_opt t.owners owner with
   | None -> []
-  | Some keys -> Hashtbl.fold (fun key () acc -> key :: acc) keys []
+  | Some o ->
+      let rec go i acc =
+        if i < 0 then acc else go (i - 1) (o.o_entries.(i).e_key :: acc)
+      in
+      go (o.o_len - 1) []
 
 let queue_length t ~key =
-  match Hashtbl.find_opt t.entries key with
+  match find_entry t key with
   | None -> 0
   | Some e ->
       Queue.fold

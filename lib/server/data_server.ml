@@ -25,7 +25,7 @@ type t = {
   lock_timeout_ms : float option;
   mutable values : (string, int) Hashtbl.t;
   mutable locks : Tid.t Camelot_lock.Lock_table.t;
-  families : (Site.id * int, family_state) Hashtbl.t;
+  families : (int, family_state) Hashtbl.t;  (* keyed by Tid.family_key *)
   mutable updates_spooled : int;
 }
 
@@ -35,7 +35,7 @@ let locks t = t.locks
 let updates_spooled t = t.updates_spooled
 
 let family_state t tid =
-  let key = Tid.family tid in
+  let key = Tid.family_key tid in
   match Hashtbl.find_opt t.families key with
   | Some fs -> fs
   | None ->
@@ -72,7 +72,7 @@ let do_abort t tid =
         Camelot_lock.Lock_table.release_all t.locks ~owner
       end)
     fs.fs_joined;
-  if Tid.is_top tid then Hashtbl.remove t.families (Tid.family tid)
+  if Tid.is_top tid then Hashtbl.remove t.families (Tid.family_key tid)
 
 (* Family committed: discard undo, drop every member's locks. *)
 let do_commit t tid =
@@ -83,7 +83,7 @@ let do_commit t tid =
       Site.cpu_use t.site model.Cost_model.drop_lock_ms;
       Camelot_lock.Lock_table.release_all t.locks ~owner)
     fs.fs_joined;
-  Hashtbl.remove t.families (Tid.family tid)
+  Hashtbl.remove t.families (Tid.family_key tid)
 
 (* Nested commit: the subtree's locks and undo entries pass to the
    parent. *)
@@ -104,7 +104,7 @@ let do_subcommit t tid =
         fs.fs_joined <- parent :: fs.fs_joined
 
 let do_vote t tid =
-  match Hashtbl.find_opt t.families (Tid.family tid) with
+  match Hashtbl.find_opt t.families (Tid.family_key tid) with
   | None -> Protocol.Vote_no
   | Some fs ->
       if List.exists (Tid.equal tid) fs.fs_veto then begin

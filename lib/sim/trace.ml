@@ -8,9 +8,9 @@ type t = {
   mutable enabled : bool;
 }
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?(enabled = true) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next = 0; count = 0; enabled = true }
+  { capacity; ring = Array.make capacity None; next = 0; count = 0; enabled }
 
 let set_enabled t flag = t.enabled <- flag
 
@@ -21,11 +21,15 @@ let add t record =
   t.next <- (t.next + 1) mod t.capacity;
   if t.count < t.capacity then t.count <- t.count + 1
 
+(* When disabled, the format arguments are consumed without being
+   rendered: [ikfprintf] never touches the formatter, so a disabled
+   trace costs one branch — not a [kasprintf] per event. *)
 let record t eng ~tag fmt =
-  Format.kasprintf
-    (fun message ->
-      if t.enabled then add t { time = Engine.now eng; tag; message })
-    fmt
+  if t.enabled then
+    Format.kasprintf
+      (fun message -> add t { time = Engine.now eng; tag; message })
+      fmt
+  else Format.ikfprintf ignore Format.err_formatter fmt
 
 let dump t =
   let result = ref [] in

@@ -9,8 +9,12 @@ type t
 
 type record = { time : float; tag : string; message : string }
 
-(** [create ~capacity ()] keeps the last [capacity] records. *)
-val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] keeps the last [capacity] records.
+    @param enabled start recording immediately (default [true]). The
+    transaction manager creates its trace disabled — enable it with
+    {!set_enabled} when debugging — so the commit hot path never pays
+    for formatting. *)
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
 
 (** Globally enable/disable recording (starts disabled is [false];
     traces are created enabled). *)

@@ -125,8 +125,22 @@ let fold_durable t ~init ~f =
 let records_spooled t = t.size
 
 let crash t =
-  (* the volatile tail is lost with the site's memory *)
-  t.size <- t.durable + 1;
+  (* The volatile tail is lost with the site's memory. Clearing the
+     dead slots matters: truncating [size] alone would leave the array
+     pinning every dropped record (and whatever they reference) until
+     the slots happen to be overwritten by later appends. *)
+  let live = t.durable + 1 in
+  if live <= 0 then begin
+    t.records <- [||];
+    t.size <- 0
+  end
+  else begin
+    let filler = t.records.(live - 1) in
+    for i = live to Array.length t.records - 1 do
+      t.records.(i) <- filler
+    done;
+    t.size <- live
+  end;
   t.writing <- false
 
 let forces t = t.forces

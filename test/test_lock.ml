@@ -154,6 +154,26 @@ let test_timeout_does_not_block_successor () =
   Engine.run eng;
   Alcotest.(check (float 1e-6)) "successor got lock at release" 100.0 !late_got_at
 
+let test_grant_cancels_timeout () =
+  (* a waiter granted before its deadline must cancel its timer: the
+     engine must quiesce at the grant, not idle on to the deadline *)
+  let eng, t = make () in
+  let granted = ref false in
+  Fiber.spawn eng (fun () ->
+      Lock_table.acquire t ~owner:(o ~fam:1 []) ~key:"k" x;
+      Fiber.sleep 10.0;
+      Lock_table.release_all t ~owner:(o ~fam:1 []));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1.0;
+      granted :=
+        Lock_table.acquire_timeout t ~owner:(o ~fam:2 []) ~key:"k" x
+          ~timeout:1000.0);
+  Engine.run eng;
+  Alcotest.(check bool) "granted" true !granted;
+  Alcotest.(check (float 1e-6)) "engine stopped at the grant, not the deadline"
+    10.0 (Engine.now eng);
+  Alcotest.(check int) "no timer left pending" 0 (Engine.pending eng)
+
 let test_acquire_all_ordered_no_deadlock () =
   (* two fibers take the same two locks in OPPOSITE request order: the
      hierarchy discipline (ascending key) must prevent the deadlock *)
@@ -309,6 +329,92 @@ let prop_grants_monotone =
       Engine.run eng;
       Lock_table.grants t <= List.length requests)
 
+let prop_acquire_all_strongest =
+  (* duplicate keys in one acquire_all collapse to their strongest
+     mode, whatever the request order *)
+  QCheck.Test.make ~name:"acquire_all holds the strongest mode per key" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 12) (pair (int_bound 3) bool))
+    (fun reqs ->
+      let eng = Engine.create () in
+      let t = Lock_table.create eng ~is_ancestor in
+      let me = o ~fam:1 [] in
+      let requests =
+        List.map (fun (k, ex) -> (string_of_int k, if ex then x else s)) reqs
+      in
+      let ok = ref true in
+      Fiber.spawn eng (fun () ->
+          Lock_table.acquire_all t ~owner:me requests;
+          List.iter
+            (fun (key, _) ->
+              let strongest =
+                if List.exists (fun (k, m) -> k = key && m = x) requests then x
+                else s
+              in
+              if Lock_table.held t ~owner:me ~key <> Some strongest then
+                ok := false)
+            requests;
+          let distinct =
+            List.sort_uniq compare (List.map fst requests)
+          in
+          if
+            List.length (Lock_table.keys_of t ~owner:me)
+            <> List.length distinct
+          then ok := false);
+      Engine.run eng;
+      !ok)
+
+let prop_timeout_interleavings =
+  (* random contention scripts with timeouts: owners from distinct
+     families contend over a few keys, some requests abandoned by
+     deadline. Afterwards: mode compatibility was never violated,
+     every queue drained, every lock released, and no timer is left in
+     the engine (granted waiters cancelled theirs). *)
+  QCheck.Test.make ~name:"random timeout interleavings stay safe and drain"
+    ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 2 15)
+        (quad (int_bound 2) bool (int_bound 40) (int_bound 60)))
+    (fun script ->
+      let eng = Engine.create () in
+      let t = Lock_table.create eng ~is_ancestor in
+      let violated = ref false in
+      let moss_ok holders =
+        (* owners are pairwise non-ancestors: an exclusive holder must
+           be alone *)
+        match List.filter (fun (_, m) -> m = x) holders with
+        | [] -> true
+        | _ :: _ -> List.length holders = 1
+      in
+      List.iteri
+        (fun i (key_n, exclusive, start, timeout) ->
+          let owner = o ~fam:(1000 + i) [] in
+          let key = string_of_int key_n in
+          let mode = if exclusive then x else s in
+          Fiber.spawn eng (fun () ->
+              Fiber.sleep (float_of_int start);
+              let got =
+                Lock_table.acquire_timeout t ~owner ~key mode
+                  ~timeout:(float_of_int (1 + timeout))
+              in
+              if got then begin
+                if not (moss_ok (Lock_table.holders t ~key)) then
+                  violated := true;
+                Fiber.sleep (float_of_int (i mod 7));
+                Lock_table.release_all t ~owner
+              end))
+        script;
+      Engine.run eng;
+      let keys = List.sort_uniq compare (List.map (fun (k, _, _, _) -> k) script) in
+      List.iter
+        (fun key_n ->
+          let key = string_of_int key_n in
+          if Lock_table.queue_length t ~key <> 0 then violated := true;
+          if Lock_table.holders t ~key <> [] then violated := true)
+        keys;
+      if Engine.pending eng <> 0 then violated := true;
+      not !violated)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -333,6 +439,8 @@ let () =
           Alcotest.test_case "gives up" `Quick test_timeout_gives_up;
           Alcotest.test_case "abandoned waiter skipped" `Quick
             test_timeout_does_not_block_successor;
+          Alcotest.test_case "grant cancels the timeout timer" `Quick
+            test_grant_cancels_timeout;
         ] );
       ( "nesting",
         [
@@ -344,5 +452,12 @@ let () =
           Alcotest.test_case "release_all wakes waiters" `Quick test_release_all_wakes_waiters;
         ] )
       ;
-      ("properties", qcheck [ prop_exclusive_never_shared_with_non_ancestor; prop_grants_monotone ]);
+      ( "properties",
+        qcheck
+          [
+            prop_exclusive_never_shared_with_non_ancestor;
+            prop_grants_monotone;
+            prop_acquire_all_strongest;
+            prop_timeout_interleavings;
+          ] );
     ]

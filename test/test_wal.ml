@@ -142,6 +142,33 @@ let test_crash_loses_tail () =
     "only durable prefix survives" [ (0, "durable") ]
     (Log.durable_records log)
 
+let test_crash_releases_dropped_records () =
+  (* regression: crash used to truncate [size] but leave the dropped
+     tail records pinned by the backing array until overwritten *)
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append_force log "durable" : int);
+      for i = 1 to 100 do
+        ignore (Log.append log (String.make 4096 (Char.chr (65 + (i mod 26)))) : int)
+      done);
+  let before = Obj.reachable_words (Obj.repr log) in
+  Log.crash log;
+  let after = Obj.reachable_words (Obj.repr log) in
+  Alcotest.(check int) "tail truncated" 0 (Log.tail_lsn log);
+  (* 100 x 4 KiB of volatile records must be collectable: the live heap
+     behind the log drops to a small fraction of the pre-crash size *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped records unpinned (%d -> %d words)" before after)
+    true
+    (after * 10 < before)
+
+let test_crash_with_nothing_durable_empties () =
+  let _, _, log = make_log () in
+  ignore (Log.append log "volatile" : int);
+  Log.crash log;
+  Alcotest.(check int) "empty" 0 (Log.records_spooled log);
+  Alcotest.(check int) "nothing durable" (-1) (Log.durable_lsn log)
+
 let test_records_accessors () =
   let eng, _, log = make_log () in
   Fiber.run eng (fun () ->
@@ -265,6 +292,10 @@ let () =
           Alcotest.test_case "batch window accumulates" `Quick test_batch_window_accumulates;
           Alcotest.test_case "wait_durable via flusher" `Quick test_wait_durable_via_flusher;
           Alcotest.test_case "crash loses volatile tail" `Quick test_crash_loses_tail;
+          Alcotest.test_case "crash unpins dropped records" `Quick
+            test_crash_releases_dropped_records;
+          Alcotest.test_case "crash with nothing durable empties" `Quick
+            test_crash_with_nothing_durable_empties;
           Alcotest.test_case "record accessors" `Quick test_records_accessors;
           Alcotest.test_case "follower covered by in-flight write" `Quick
             test_follower_target_covered_by_inflight_write;
