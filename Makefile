@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-compare fmt-check
+.PHONY: build test check bench bench-smoke bench-compare chaos-smoke fmt-check
 
 build:
 	dune build
@@ -7,8 +7,15 @@ test:
 	dune runtest
 
 # The one-stop gate: compile everything, run the test suite, refresh
-# the quick perf baseline.
-check: build test bench-smoke
+# the quick perf baseline, sweep the fault-schedule explorer.
+check: build test bench-smoke chaos-smoke
+
+# Bounded deterministic fault-injection sweep (~a second of wall
+# clock): enumerates crash/partition/drop singles at every registered
+# fault point for both commit protocols, then random pairs, and fails
+# on any oracle violation or uncovered fault point.
+chaos-smoke:
+	dune exec bin/camelot_sim.exe -- chaos --budget 1200 --seed 42
 
 bench:
 	dune exec bench/main.exe

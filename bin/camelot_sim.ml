@@ -40,8 +40,83 @@ let all_cmd =
   experiment "all" "Run every table, figure and ablation."
     Term.(const run $ reps $ horizon $ const ())
 
+let chaos_cmd =
+  let budget =
+    let doc = "Fault schedules to run (enumerated singles, then random pairs)." in
+    Arg.(value & opt int 1200 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Seed for the randomized schedule generator." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let schedule =
+    let doc =
+      "Replay one schedule token (as printed for a failure, e.g. \
+       pair-2pc:crash@sub.prepare.forced/1#1) instead of exploring."
+    in
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"TOKEN" ~doc)
+  in
+  let workload =
+    let doc = "Restrict exploration to one workload." in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let inject_bug =
+    let doc =
+      "Deliberately skip forcing the subordinate's prepare record (a real \
+       durability bug) to prove the oracles catch it."
+    in
+    Arg.(value & flag & info [ "inject-bug" ] ~doc)
+  in
+  let run budget seed schedule workload inject_bug () =
+    let open Camelot_chaos_explorer in
+    let mutate_config c =
+      if inject_bug then c.Camelot_core.State.unsafe_skip_prepare_force <- true
+    in
+    match schedule with
+    | Some token -> (
+        match Schedule.of_string token with
+        | None ->
+            prerr_endline ("chaos: cannot parse schedule token: " ^ token);
+            exit 2
+        | Some s ->
+            let r = Explorer.run_schedule ~mutate_config s in
+            if r.Explorer.rr_violations = [] then
+              print_endline ("chaos: clean run: " ^ Schedule.to_string s)
+            else begin
+              print_endline ("chaos: VIOLATIONS for " ^ Schedule.to_string s);
+              List.iter
+                (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+                r.Explorer.rr_violations;
+              exit 1
+            end)
+    | None ->
+        let workloads = Option.map (fun w -> [ w ]) workload in
+        let progress n total =
+          if n mod 100 = 0 then Printf.eprintf "chaos: %d/%d schedules\n%!" n total
+        in
+        let r = Explorer.explore ~mutate_config ~budget ~seed ?workloads ~progress () in
+        Format.printf "%a" Explorer.pp_report r;
+        if inject_bug then begin
+          (* inverted mode: the run succeeds iff the bug is caught *)
+          if r.Explorer.rp_failures = [] then begin
+            print_endline "chaos: injected bug was NOT caught";
+            exit 1
+          end
+          else print_endline "chaos: injected bug caught, as it should be"
+        end
+        else if r.Explorer.rp_failures <> [] then exit 1
+        else if r.Explorer.rp_missing <> [] then begin
+          print_endline "chaos: some registered fault points were never exercised";
+          exit 1
+        end
+  in
+  experiment "chaos"
+    "Deterministic fault-schedule explorer with atomicity/durability oracles."
+    Term.(const run $ budget $ seed $ schedule $ workload $ inject_bug $ const ())
+
 let cmds =
   [
+    chaos_cmd;
     simple "table1" "Table 1: PC-RT and Mach benchmarks (calibration)."
       Camelot_experiments.Table1.run;
     with_reps "table2" "Table 2: latency of Camelot primitives."

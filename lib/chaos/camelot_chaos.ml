@@ -1,0 +1,51 @@
+open Camelot_sim
+
+exception Killed
+
+type kind = Step | Choice
+type action = Pass | Deny | Kill
+
+type sink = {
+  on_hit : point:string -> site:int -> action;
+  crash : site:int -> unit;
+}
+
+let points : (string, kind) Hashtbl.t = Hashtbl.create 32
+let sink : sink option ref = ref None
+
+let register ?(kind = Step) name =
+  if not (Hashtbl.mem points name) then Hashtbl.add points name kind;
+  name
+
+let registered () =
+  Hashtbl.fold (fun name kind acc -> (name, kind) :: acc) points []
+  |> List.sort compare
+
+let attach ~on_hit ~crash = sink := Some { on_hit; crash }
+let detach () = sink := None
+let attached () = !sink <> None
+
+let die ~site () =
+  (match !sink with
+  | Some s -> s.crash ~site
+  | None -> invalid_arg "Camelot_chaos.die: no explorer attached");
+  (* If the calling fiber belongs to the killed group, yielding raises
+     its cancellation and the fiber dies here, before it can touch any
+     more shared state. A groupless caller (the explorer driving
+     recovery) falls through and gets [Killed] to catch. *)
+  Fiber.yield ();
+  raise Killed
+
+let point ~site name =
+  match !sink with
+  | None -> ()
+  | Some s -> (
+      match s.on_hit ~point:name ~site with
+      | Pass | Deny -> ()
+      | Kill -> die ~site ())
+
+let deny ~site name =
+  match !sink with
+  | None -> false
+  | Some s -> (
+      match s.on_hit ~point:name ~site with Pass -> false | Deny | Kill -> true)

@@ -1,0 +1,440 @@
+(* The deterministic fault-schedule explorer.
+
+   One run = one workload + one fault schedule, executed in four
+   phases on a fresh cluster with the chaos sink attached:
+
+   1. start the workload and let it resolve (or die in a crash);
+   2. heal every partition and restart every crashed site, retrying
+      when an injection crashes a site during its own recovery;
+   3. drive the cluster until every started transaction is resolved
+      at every site (liveness deadline: a blocked cluster is itself a
+      violation);
+   4. the durability hammer — crash every site, restart, re-resolve —
+      so only log-backed state survives into the oracles.
+
+   Exploration enumerates one-injection schedules from a counting run
+   (which records how often each fault point fires per site), then
+   fills the remaining budget with seeded random two-injection
+   schedules. Failing schedules are greedily shrunk to a minimal
+   replayable token. *)
+
+open Camelot_core
+
+type run_result = {
+  rr_schedule : Schedule.t;
+  rr_violations : Oracle.violation list;
+  rr_hits : ((string * int) * int) list;  (* (point, site) -> hit count *)
+}
+
+type failure = {
+  fl_original : Schedule.t;
+  fl_shrunk : Schedule.t;
+  fl_violations : Oracle.violation list;
+}
+
+type report = {
+  rp_runs : int;
+  rp_failures : failure list;
+  rp_coverage : (string * int) list;  (* point -> total hits, all runs *)
+  rp_missing : string list;  (* registered points never hit *)
+}
+
+(* Same noise-free model the test suites use (testutil is not a
+   library; the three fields are repeated here). *)
+let quiet_model =
+  {
+    Camelot_mach.Cost_model.rt with
+    Camelot_mach.Cost_model.datagram_jitter_ms = 0.0;
+    send_hiccup_p = 0.0;
+    rpc_jitter_ms = 0.0;
+  }
+
+(* Short protocol timeouts so blocked states resolve in little virtual
+   time; every schedule replays against exactly this configuration. *)
+let chaos_config () =
+  let c = State.default_config () in
+  c.State.vote_timeout_ms <- 150.0;
+  c.State.max_vote_retries <- 2;
+  c.State.outcome_retry_ms <- 300.0;
+  c.State.subordinate_timeout_ms <- 600.0;
+  c.State.takeover_retry_ms <- 300.0;
+  c.State.orphan_timeout_ms <- 1200.0;
+  c
+
+let cluster_seed = 7
+
+(* --- one run ------------------------------------------------------ *)
+
+let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t)
+    =
+  let w =
+    match Workload.find s.Schedule.s_workload with
+    | Some w -> w
+    | None -> invalid_arg ("chaos: unknown workload " ^ s.Schedule.s_workload)
+  in
+  let c =
+    Camelot.Cluster.create ~seed:cluster_seed ~model:quiet_model
+      ~config:(chaos_config ()) ~sites:w.Workload.w_sites ()
+  in
+  Camelot.Cluster.each_config c mutate_config;
+  let sites = w.Workload.w_sites in
+  let hits : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let injections = Array.of_list s.Schedule.s_injections in
+  let fired = Array.make (Array.length injections) false in
+  let crashed_ever = Array.make sites false in
+  let on_hit ~point ~site =
+    let k = (point, site) in
+    let n = Option.value ~default:0 (Hashtbl.find_opt hits k) + 1 in
+    Hashtbl.replace hits k n;
+    let action = ref Camelot_chaos.Pass in
+    Array.iteri
+      (fun i (inj : Schedule.injection) ->
+        if
+          (not fired.(i))
+          && inj.Schedule.i_point = point
+          && inj.Schedule.i_site = site
+          && inj.Schedule.i_hit = n
+        then begin
+          fired.(i) <- true;
+          match inj.Schedule.i_fault with
+          | Schedule.Drop -> action := Camelot_chaos.Deny
+          | Schedule.Crash -> action := Camelot_chaos.Kill
+          | Schedule.Isolate ->
+              (* cut the site's datagrams off from everyone else; RPCs
+                 (bound to site liveness, not the LAN) still flow *)
+              let others =
+                List.filter (fun x -> x <> site) (List.init sites Fun.id)
+              in
+              Camelot.Cluster.partition c [ [ site ]; others ]
+        end)
+      injections;
+    !action
+  in
+  let crash ~site =
+    crashed_ever.(site) <- true;
+    let node = Camelot.Cluster.node c site in
+    if Camelot_mach.Site.alive node.Camelot.Cluster.site then
+      Camelot.Cluster.crash_site c site
+  in
+  let violations = ref [] in
+  let alive i =
+    Camelot_mach.Site.alive (Camelot.Cluster.node c i).Camelot.Cluster.site
+  in
+  (* Restart every dead site, retrying when an injection kills the
+     site again during its own recovery (recovery is idempotent; each
+     retry replays the same durable log). *)
+  let restart_all () =
+    Camelot.Cluster.heal c;
+    for i = 0 to sites - 1 do
+      if not (alive i) then begin
+        let rec go attempt =
+          match Camelot.Cluster.restart_site c i with
+          | (_ : Tid.t list) -> ()
+          | exception Camelot_chaos.Killed ->
+              if attempt < 6 then go (attempt + 1)
+              else
+                violations :=
+                  Oracle.v "liveness" "site %d failed to recover after %d attempts"
+                    i attempt
+                  :: !violations
+        in
+        go 1
+      end
+    done
+  in
+  let poll_until ~deadline ~every pred =
+    let rec loop () =
+      if pred () then true
+      else if Camelot_sim.Fiber.now () >= deadline then false
+      else begin
+        Camelot_sim.Fiber.sleep every;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Camelot_chaos.attach ~on_hit ~crash;
+  Fun.protect ~finally:Camelot_chaos.detach (fun () ->
+      Camelot_sim.Fiber.run (Camelot.Cluster.engine c) (fun () ->
+          (* phase 1: the workload, until every transaction resolved or
+             its application fiber died with its site *)
+          let txns = w.Workload.w_start c in
+          ignore
+            (poll_until
+               ~deadline:(Camelot_sim.Fiber.now () +. 6000.0)
+               ~every:50.0
+               (fun () ->
+                 List.for_all
+                   (fun (t : Workload.txn) ->
+                     !(t.Workload.x_result) <> None
+                     || crashed_ever.(t.Workload.x_origin))
+                   txns)
+              : bool);
+          (* phases 2+3: heal, restart, resolve everywhere *)
+          let resolved_everywhere () =
+            List.for_all (fun i -> alive i) (List.init sites Fun.id)
+            && List.for_all
+                 (fun (t : Workload.txn) ->
+                   match !(t.Workload.x_tid) with
+                   | None -> true
+                   | Some tid ->
+                       List.for_all
+                         (fun i ->
+                           match
+                             Tranman.status (Camelot.Cluster.tranman c i) tid
+                           with
+                           | Protocol.St_unknown | Protocol.St_committed
+                           | Protocol.St_aborted ->
+                               true
+                           | _ -> false)
+                         (List.init sites Fun.id))
+                 txns
+          in
+          let resolve ~deadline_ms ~phase =
+            let deadline = Camelot_sim.Fiber.now () +. deadline_ms in
+            let ok =
+              poll_until ~deadline ~every:100.0 (fun () ->
+                  restart_all ();
+                  resolved_everywhere ())
+            in
+            if not ok then begin
+              let stuck =
+                List.concat_map
+                  (fun (t : Workload.txn) ->
+                    match !(t.Workload.x_tid) with
+                    | None -> []
+                    | Some tid ->
+                        List.filter_map
+                          (fun i ->
+                            match
+                              Tranman.status (Camelot.Cluster.tranman c i) tid
+                            with
+                            | Protocol.St_unknown | Protocol.St_committed
+                            | Protocol.St_aborted ->
+                                None
+                            | st ->
+                                Some
+                                  (Format.asprintf "%s@%d:%a" t.Workload.x_label
+                                     i Protocol.pp_status st))
+                          (List.init sites Fun.id))
+                  txns
+              in
+              violations :=
+                Oracle.v "liveness" "%s: unresolved after %.0fms: %s" phase
+                  deadline_ms
+                  (String.concat ", " stuck)
+                :: !violations
+            end;
+            ok
+          in
+          let settled = resolve ~deadline_ms:20_000.0 ~phase:"post-heal" in
+          Camelot_sim.Fiber.sleep 500.0;
+          (* phase 4: durability hammer — only log-backed state survives *)
+          if settled then begin
+            for i = 0 to sites - 1 do
+              if alive i then Camelot.Cluster.crash_site c i
+            done;
+            restart_all ();
+            ignore (resolve ~deadline_ms:10_000.0 ~phase:"post-hammer" : bool);
+            Camelot_sim.Fiber.sleep 500.0
+          end;
+          violations := !violations @ Oracle.check c txns));
+  {
+    rr_schedule = s;
+    rr_violations = !violations;
+    rr_hits = Hashtbl.fold (fun k n acc -> (k, n) :: acc) hits [];
+  }
+
+(* --- shrinking ---------------------------------------------------- *)
+
+(* Greedy minimisation of a failing schedule: drop injections while
+   the run still fails, then lower each surviving injection's hit
+   index as far as it will go. *)
+let shrink ?mutate_config ?run (s : Schedule.t) =
+  let run =
+    match run with Some r -> r | None -> run_schedule ?mutate_config
+  in
+  let fails s = (run s).rr_violations <> [] in
+  let rec drop_pass (s : Schedule.t) =
+    let n = List.length s.Schedule.s_injections in
+    let rec try_drop i =
+      if i >= n then s
+      else
+        let s' =
+          {
+            s with
+            Schedule.s_injections =
+              List.filteri (fun j _ -> j <> i) s.Schedule.s_injections;
+          }
+        in
+        if fails s' then drop_pass s' else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  let s = drop_pass s in
+  let lower_one (s : Schedule.t) idx =
+    let inj = List.nth s.Schedule.s_injections idx in
+    let rec low h =
+      if h >= inj.Schedule.i_hit then s
+      else
+        let s' =
+          {
+            s with
+            Schedule.s_injections =
+              List.mapi
+                (fun j x -> if j = idx then { inj with Schedule.i_hit = h } else x)
+                s.Schedule.s_injections;
+          }
+        in
+        if fails s' then s' else low (h + 1)
+    in
+    low 1
+  in
+  List.fold_left lower_one s
+    (List.init (List.length s.Schedule.s_injections) Fun.id)
+
+(* --- enumeration -------------------------------------------------- *)
+
+(* How many of a point's observed hits the single-injection sweep
+   covers. Step points fire a handful of times; the two Choice points
+   fire on every datagram / disk write, so cap them. *)
+let hit_cap = function
+  | "net.datagram" -> 12
+  | "wal.force.torn" -> 6
+  | _ -> 2
+
+let singles_for hits =
+  let kinds = Camelot_chaos.registered () in
+  List.concat_map
+    (fun ((point, site), count) ->
+      match List.assoc_opt point kinds with
+      | None -> []
+      | Some kind ->
+          let k = min count (hit_cap point) in
+          List.concat
+            (List.init k (fun h ->
+                 let mk fault =
+                   {
+                     Schedule.i_fault = fault;
+                     i_point = point;
+                     i_site = site;
+                     i_hit = h + 1;
+                   }
+                 in
+                 match kind with
+                 | Camelot_chaos.Choice -> [ mk Schedule.Drop ]
+                 | Camelot_chaos.Step ->
+                     [ mk Schedule.Crash; mk Schedule.Isolate ])))
+    hits
+
+(* --- exploration -------------------------------------------------- *)
+
+let default_workloads () = List.map (fun w -> w.Workload.w_name) Workload.all
+
+let explore ?mutate_config ?(budget = 1200) ?(seed = 42) ?workloads
+    ?(max_failures = 3) ?(progress = fun (_ : int) (_ : int) -> ()) () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> default_workloads ()
+  in
+  let rng = Camelot_sim.Rng.create ~seed in
+  let coverage : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let runs = ref 0 in
+  let failures = ref [] in
+  let exec s =
+    let r = run_schedule ?mutate_config s in
+    incr runs;
+    progress !runs budget;
+    List.iter
+      (fun ((p, _), n) ->
+        Hashtbl.replace coverage p
+          (Option.value ~default:0 (Hashtbl.find_opt coverage p) + n))
+      r.rr_hits;
+    r
+  in
+  let give_up () = !runs >= budget || List.length !failures >= max_failures in
+  let consider (r : run_result) =
+    if r.rr_violations <> [] then begin
+      let shrunk = shrink ~run:exec r.rr_schedule in
+      (* re-run the shrunk schedule to report its violations *)
+      let final = exec shrunk in
+      failures :=
+        {
+          fl_original = r.rr_schedule;
+          fl_shrunk = shrunk;
+          fl_violations =
+            (if final.rr_violations <> [] then final.rr_violations
+             else r.rr_violations);
+        }
+        :: !failures
+    end
+  in
+  (* counting runs: discover each workload's (point, site) hit counts *)
+  let pools =
+    List.filter_map
+      (fun name ->
+        if give_up () then None
+        else begin
+          let r = exec { Schedule.s_workload = name; s_injections = [] } in
+          consider r;
+          let singles = singles_for r.rr_hits in
+          if singles = [] then None else Some (name, Array.of_list singles)
+        end)
+      workloads
+  in
+  (* deterministic single-injection sweep *)
+  List.iter
+    (fun (name, pool) ->
+      Array.iter
+        (fun inj ->
+          if not (give_up ()) then
+            consider
+              (exec { Schedule.s_workload = name; s_injections = [ inj ] }))
+        pool)
+    pools;
+  (* seeded random two-injection schedules fill the remaining budget *)
+  let pools = Array.of_list pools in
+  if Array.length pools > 0 then
+    while not (give_up ()) do
+      let name, pool =
+        pools.(Camelot_sim.Rng.int_below rng (Array.length pools))
+      in
+      let pick () = pool.(Camelot_sim.Rng.int_below rng (Array.length pool)) in
+      let a = pick () and b = pick () in
+      consider
+        (exec { Schedule.s_workload = name; s_injections = [ a; b ] })
+    done;
+  let registered = List.map fst (Camelot_chaos.registered ()) in
+  {
+    rp_runs = !runs;
+    rp_failures = List.rev !failures;
+    rp_coverage =
+      List.filter_map
+        (fun p -> Option.map (fun n -> (p, n)) (Hashtbl.find_opt coverage p))
+        registered;
+    rp_missing =
+      List.filter (fun p -> not (Hashtbl.mem coverage p)) registered;
+  }
+
+(* --- reporting ---------------------------------------------------- *)
+
+let pp_report ppf r =
+  Format.fprintf ppf "chaos: %d schedules run, %d failing@." r.rp_runs
+    (List.length r.rp_failures);
+  Format.fprintf ppf "coverage (%d/%d points hit):@."
+    (List.length r.rp_coverage)
+    (List.length r.rp_coverage + List.length r.rp_missing);
+  List.iter
+    (fun (p, n) -> Format.fprintf ppf "  %-28s %d hits@." p n)
+    r.rp_coverage;
+  List.iter
+    (fun p -> Format.fprintf ppf "  %-28s NEVER HIT@." p)
+    r.rp_missing;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "FAILURE: %s@." (Schedule.to_string f.fl_original);
+      Format.fprintf ppf "  minimal: --schedule '%s'@."
+        (Schedule.to_string f.fl_shrunk);
+      List.iter
+        (fun x -> Format.fprintf ppf "  %a@." Oracle.pp_violation x)
+        f.fl_violations)
+    r.rp_failures

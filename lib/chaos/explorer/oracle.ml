@@ -1,0 +1,219 @@
+(* Post-recovery correctness oracles. After a chaos run has healed,
+   restarted every site and driven every transaction to resolution,
+   these checks decide whether the fault schedule exposed a bug:
+
+   - atomicity: each transaction's writes are all visible or none;
+   - durability: a commit observed by the application survives the
+     final crash-everything restart;
+   - lock hygiene: no lock is still held anywhere;
+   - log discipline: per-site durable logs respect the presumed-abort
+     write/force rules of Record's documentation;
+   - decision backing: a visible write implies a durable commit record
+     at some site. *)
+
+open Camelot_core
+
+type violation = { v_oracle : string; v_detail : string }
+
+let v oracle fmt = Printf.ksprintf (fun d -> { v_oracle = oracle; v_detail = d }) fmt
+
+let pp_violation ppf x = Format.fprintf ppf "[%s] %s" x.v_oracle x.v_detail
+
+(* --- per-site durable-log facts ---------------------------------- *)
+
+(* First durable LSN of each protocol record kind for one top-level
+   transaction at one site (-1 = absent). *)
+type facts = {
+  f_tid : Tid.t;
+  mutable commit_at : int;
+  mutable abort_at : int;
+  mutable prepare_at : int;
+  mutable replication_at : int;
+  mutable refusal_at : int;
+  mutable end_at : int;
+}
+
+let facts_of_log log =
+  let tbl : (int, facts) Hashtbl.t = Hashtbl.create 16 in
+  let get tid =
+    let top = Tid.top tid in
+    let k = Tid.key top in
+    match Hashtbl.find_opt tbl k with
+    | Some f -> f
+    | None ->
+        let f =
+          {
+            f_tid = top;
+            commit_at = -1;
+            abort_at = -1;
+            prepare_at = -1;
+            replication_at = -1;
+            refusal_at = -1;
+            end_at = -1;
+          }
+        in
+        Hashtbl.replace tbl k f;
+        f
+  in
+  Camelot_wal.Log.iter_durable log (fun lsn r ->
+      match r with
+      | Record.Update _ | Record.Checkpoint _ | Record.Collecting _ -> ()
+      | Record.Prepare { p_tid; _ } ->
+          let f = get p_tid in
+          if f.prepare_at < 0 then f.prepare_at <- lsn
+      | Record.Commit { c_tid; _ } ->
+          let f = get c_tid in
+          if f.commit_at < 0 then f.commit_at <- lsn
+      | Record.Abort { a_tid } ->
+          let f = get a_tid in
+          if f.abort_at < 0 then f.abort_at <- lsn
+      | Record.Replication { r_tid; _ } ->
+          let f = get r_tid in
+          if f.replication_at < 0 then f.replication_at <- lsn
+      | Record.Refusal { f_tid } ->
+          let f = get f_tid in
+          if f.refusal_at < 0 then f.refusal_at <- lsn
+      | Record.End { e_tid } ->
+          let f = get e_tid in
+          if f.end_at < 0 then f.end_at <- lsn);
+  tbl
+
+let check_log_discipline ~site facts acc =
+  Hashtbl.fold
+    (fun _ f acc ->
+      let tid = Tid.to_string f.f_tid in
+      let acc =
+        if f.commit_at >= 0 && f.abort_at >= 0 then
+          v "log" "site %d logged both Commit (lsn %d) and Abort (lsn %d) for %s"
+            site f.commit_at f.abort_at tid
+          :: acc
+        else acc
+      in
+      let acc =
+        if f.end_at >= 0 && f.commit_at < 0 && f.abort_at < 0 then
+          v "log" "site %d logged End (lsn %d) with no prior outcome for %s" site
+            f.end_at tid
+          :: acc
+        else acc
+      in
+      let acc =
+        (* a subordinate may only hold a commit record for a
+           transaction it durably prepared (2PC) or replicated
+           (non-blocking): presumed abort's whole point *)
+        if
+          f.commit_at >= 0
+          && Tid.origin f.f_tid <> site
+          && f.prepare_at < 0
+          && f.replication_at < 0
+        then
+          v "log"
+            "site %d logged Commit (lsn %d) for %s without Prepare or Replication"
+            site f.commit_at tid
+          :: acc
+        else acc
+      in
+      if f.replication_at >= 0 && f.refusal_at >= 0 then
+        v "log"
+          "site %d logged both Replication (lsn %d) and Refusal (lsn %d) for %s"
+          site f.replication_at f.refusal_at tid
+        :: acc
+      else acc)
+    facts acc
+
+(* --- whole-cluster check ------------------------------------------ *)
+
+let check c txns =
+  let sites = Camelot.Cluster.sites c in
+  let acc = ref [] in
+  let add x = acc := x :: !acc in
+  let peek site key =
+    Camelot_server.Data_server.peek (Camelot.Cluster.server c site) key
+  in
+  let facts =
+    Array.init sites (fun i -> facts_of_log (Camelot.Cluster.log c i))
+  in
+  (* log discipline per site *)
+  for i = 0 to sites - 1 do
+    acc := check_log_discipline ~site:i facts.(i) !acc
+  done;
+  (* per-transaction value oracles *)
+  List.iter
+    (fun (t : Workload.txn) ->
+      let visible = List.map (fun (s, k, x) -> peek s k = x) t.x_writes in
+      let n_vis = List.length (List.filter Fun.id visible) in
+      let n = List.length t.x_writes in
+      let describe () =
+        String.concat ", "
+          (List.map2
+             (fun (s, k, x) vis ->
+               Printf.sprintf "%s@%d=%d(%s)" k s x (if vis then "seen" else "gone"))
+             t.x_writes visible)
+      in
+      let committed_somewhere =
+        match !(t.x_tid) with
+        | None -> false
+        | Some tid ->
+            let k = Tid.key (Tid.top tid) in
+            Array.exists
+              (fun tbl ->
+                match Hashtbl.find_opt tbl k with
+                | Some f -> f.commit_at >= 0
+                | None -> false)
+              facts
+      in
+      (match !(t.x_result) with
+      | Some Protocol.Committed ->
+          if n_vis < n then
+            add
+              (v "durability" "%s committed but writes lost after restart: %s"
+                 t.x_label (describe ()));
+          (match !(t.x_tid) with
+          | Some tid when not committed_somewhere ->
+              add
+                (v "durability"
+                   "%s (%s) committed but no durable Commit record anywhere"
+                   t.x_label (Tid.to_string tid))
+          | _ -> ())
+      | Some Protocol.Aborted ->
+          if n_vis > 0 then
+            add
+              (v "atomicity" "%s aborted but writes survived: %s" t.x_label
+                 (describe ()))
+      | None ->
+          (* the application never learned the outcome (its site
+             crashed): recovery must still land on all-or-nothing *)
+          if n_vis > 0 && n_vis < n then
+            add
+              (v "atomicity" "%s (no observed outcome) is partially applied: %s"
+                 t.x_label (describe ())));
+      (* a surviving write must be backed by a durable commit decision *)
+      if n_vis > 0 && not committed_somewhere then
+        add
+          (v "presumed-abort"
+             "%s has visible writes but no durable Commit record at any site: %s"
+             t.x_label (describe ()));
+      (* writes of aborted subtransactions must never resurface *)
+      List.iter
+        (fun (s, k) ->
+          let got = peek s k in
+          if got <> 0 then
+            add
+              (v "atomicity" "%s: aborted-child write %s@%d resurfaced (= %d)"
+                 t.x_label k s got))
+        t.x_never)
+    txns;
+  (* lock hygiene: everything resolved, so nothing may still be held *)
+  for i = 0 to sites - 1 do
+    List.iter
+      (fun srv ->
+        List.iter
+          (fun (key, owner, _) ->
+            add
+              (v "locks" "site %d server %s: %s still locked by %s" i
+                 (Camelot_server.Data_server.name srv)
+                 key (Tid.to_string owner)))
+          (Camelot_lock.Lock_table.all_held
+             (Camelot_server.Data_server.locks srv)))
+      (Camelot.Cluster.node c i).Camelot.Cluster.servers
+  done;
+  List.rev !acc

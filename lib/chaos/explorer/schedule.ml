@@ -1,0 +1,75 @@
+(* A fault schedule: one workload name plus a set of injections, each
+   firing at the k-th hit of a named fault point at a given site. The
+   printed form is a single replayable token,
+
+     workload:fault@point/site#hit+fault@point/site#hit
+
+   e.g. [pair-2pc:crash@sub.prepare.forced/1#1], accepted back by
+   [camelot_sim chaos --schedule]. *)
+
+type fault =
+  | Crash  (** fail-stop the site at the hit *)
+  | Isolate  (** partition the site away from every other site *)
+  | Drop  (** deny the guarded action (lose the datagram / tear the force) *)
+
+type injection = {
+  i_fault : fault;
+  i_point : string;
+  i_site : int;
+  i_hit : int;  (* 1-based: fire at the k-th hit of (point, site) *)
+}
+
+type t = { s_workload : string; s_injections : injection list }
+
+let fault_to_string = function
+  | Crash -> "crash"
+  | Isolate -> "isolate"
+  | Drop -> "drop"
+
+let fault_of_string = function
+  | "crash" -> Some Crash
+  | "isolate" -> Some Isolate
+  | "drop" -> Some Drop
+  | _ -> None
+
+let injection_to_string i =
+  Printf.sprintf "%s@%s/%d#%d" (fault_to_string i.i_fault) i.i_point i.i_site
+    i.i_hit
+
+let to_string s =
+  match s.s_injections with
+  | [] -> s.s_workload
+  | injs ->
+      s.s_workload ^ ":" ^ String.concat "+" (List.map injection_to_string injs)
+
+let injection_of_string str =
+  match String.index_opt str '@' with
+  | None -> None
+  | Some at -> (
+      let fault = String.sub str 0 at in
+      let rest = String.sub str (at + 1) (String.length str - at - 1) in
+      match
+        (fault_of_string fault, String.rindex_opt rest '/', String.rindex_opt rest '#')
+      with
+      | Some f, Some sl, Some hs when sl < hs -> (
+          try
+            Some
+              {
+                i_fault = f;
+                i_point = String.sub rest 0 sl;
+                i_site = int_of_string (String.sub rest (sl + 1) (hs - sl - 1));
+                i_hit =
+                  int_of_string (String.sub rest (hs + 1) (String.length rest - hs - 1));
+              }
+          with _ -> None)
+      | _ -> None)
+
+let of_string str =
+  match String.index_opt str ':' with
+  | None -> if str = "" then None else Some { s_workload = str; s_injections = [] }
+  | Some c ->
+      let w = String.sub str 0 c in
+      let rest = String.sub str (c + 1) (String.length str - c - 1) in
+      let injs = List.map injection_of_string (String.split_on_char '+' rest) in
+      if w = "" || List.exists (( = ) None) injs then None
+      else Some { s_workload = w; s_injections = List.filter_map Fun.id injs }

@@ -1,0 +1,146 @@
+(* The workloads the explorer perturbs: small fixed transaction mixes
+   with unique nonzero values per write, so the oracles can decide
+   visibility by value equality alone. *)
+
+open Camelot_core
+open Camelot_server
+
+(* One application transaction and what the application observed. *)
+type txn = {
+  x_label : string;
+  x_origin : int;
+  x_writes : (int * string * int) list;
+      (* (site, key, value): visible everywhere iff the txn commits *)
+  x_never : (int * string) list;  (* aborted-child writes: never visible *)
+  x_tid : Tid.t option ref;
+  x_result : Protocol.outcome option ref;
+}
+
+type t = {
+  w_name : string;
+  w_protocol : Protocol.commit_protocol;  (* dominant protocol, for coverage *)
+  w_sites : int;
+  w_start : Camelot.Cluster.t -> txn list;
+}
+
+(* Run begin/writes/commit as an application fiber on the origin site;
+   a crash of that site kills it, as a real crash would kill the
+   application process. A participant dying mid-operation surfaces as
+   [Rpc_failure]; the application aborts, like the paper's §2 rule. *)
+let start_txn c ~label ~protocol ~origin ~writes =
+  let tm = Camelot.Cluster.tranman c origin in
+  let tid_cell = ref None and result = ref None in
+  let node = Camelot.Cluster.node c origin in
+  Camelot_mach.Site.spawn node.Camelot.Cluster.site ~name:("chaos-" ^ label)
+    (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      tid_cell := Some tid;
+      match
+        List.iter
+          (fun (site, key, v) ->
+            ignore
+              (Camelot.Cluster.op c ~origin tid ~site (Data_server.Write (key, v))
+                : int))
+          writes
+      with
+      | () -> (
+          (* an Rpc_failure out of commit itself means our own site is
+             dying mid-call: the outcome is unknown, leave it unset *)
+          match Tranman.commit tm ~protocol tid with
+          | o -> result := Some o
+          | exception Camelot_mach.Rpc.Rpc_failure _ -> ())
+      | exception Camelot_mach.Rpc.Rpc_failure _ -> (
+          match Tranman.abort tm tid with
+          | () -> result := Some Protocol.Aborted
+          | exception Camelot_mach.Rpc.Rpc_failure _ -> ()));
+  {
+    x_label = label;
+    x_origin = origin;
+    x_writes = writes;
+    x_never = [];
+    x_tid = tid_cell;
+    x_result = result;
+  }
+
+(* Two crossing two-site transactions under two-phase commit: each site
+   is coordinator for one and subordinate for the other. *)
+let pair_2pc c =
+  [
+    start_txn c ~label:"t0" ~protocol:Protocol.Two_phase ~origin:0
+      ~writes:[ (0, "a0", 11); (1, "b0", 12) ];
+    start_txn c ~label:"t1" ~protocol:Protocol.Two_phase ~origin:1
+      ~writes:[ (1, "b1", 21); (0, "a1", 22) ];
+  ]
+
+(* Two crossing three-site transactions under the non-blocking
+   protocol: quorums are majorities of three. *)
+let trio_nb c =
+  [
+    start_txn c ~label:"n0" ~protocol:Protocol.Nonblocking ~origin:0
+      ~writes:[ (0, "p0", 31); (1, "q0", 32); (2, "r0", 33) ];
+    start_txn c ~label:"n1" ~protocol:Protocol.Nonblocking ~origin:1
+      ~writes:[ (1, "q1", 41); (2, "r1", 42) ];
+  ]
+
+(* A nested family: the root writes locally, one child commits a remote
+   write (anti-inherited into the root), one child aborts a remote
+   write (must never surface), then the root commits via 2PC. *)
+let nested c =
+  let tm = Camelot.Cluster.tranman c 0 in
+  let tid_cell = ref None and result = ref None in
+  let node = Camelot.Cluster.node c 0 in
+  Camelot_mach.Site.spawn node.Camelot.Cluster.site ~name:"chaos-nested"
+    (fun () ->
+      let tid = Tranman.begin_transaction tm in
+      tid_cell := Some tid;
+      match
+        ignore (Camelot.Cluster.op c ~origin:0 tid ~site:0 (Data_server.Write ("nr", 51)) : int);
+        let keeper = Tranman.begin_nested tm ~parent:tid in
+        ignore
+          (Camelot.Cluster.op c ~origin:0 keeper ~site:1 (Data_server.Write ("nc", 52)) : int);
+        ignore (Tranman.commit tm keeper : Protocol.outcome);
+        let loser = Tranman.begin_nested tm ~parent:tid in
+        ignore
+          (Camelot.Cluster.op c ~origin:0 loser ~site:1 (Data_server.Write ("nx", 53)) : int);
+        Tranman.abort tm loser
+      with
+      | () -> (
+          match Tranman.commit tm ~protocol:Protocol.Two_phase tid with
+          | o -> result := Some o
+          | exception Camelot_mach.Rpc.Rpc_failure _ -> ())
+      | exception Camelot_mach.Rpc.Rpc_failure _ -> (
+          match Tranman.abort tm tid with
+          | () -> result := Some Protocol.Aborted
+          | exception Camelot_mach.Rpc.Rpc_failure _ -> ()));
+  [
+    {
+      x_label = "nested";
+      x_origin = 0;
+      x_writes = [ (0, "nr", 51); (1, "nc", 52) ];
+      x_never = [ (1, "nx") ];
+      x_tid = tid_cell;
+      x_result = result;
+    };
+  ]
+
+(* The Table-3 style mix: a purely local transaction, a two-phase pair
+   and a non-blocking triple, concurrently on three sites. *)
+let mixed c =
+  [
+    start_txn c ~label:"m-local" ~protocol:Protocol.Two_phase ~origin:2
+      ~writes:[ (2, "ml", 61) ];
+    start_txn c ~label:"m-2pc" ~protocol:Protocol.Two_phase ~origin:0
+      ~writes:[ (0, "ma", 71); (1, "mb", 72) ];
+    start_txn c ~label:"m-nb" ~protocol:Protocol.Nonblocking ~origin:1
+      ~writes:[ (1, "mc", 81); (2, "md", 82); (0, "me", 83) ];
+  ]
+
+let all =
+  [
+    { w_name = "pair-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2; w_start = pair_2pc };
+    { w_name = "trio-nb"; w_protocol = Protocol.Nonblocking; w_sites = 3; w_start = trio_nb };
+    { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2; w_start = nested };
+    { w_name = "mixed"; w_protocol = Protocol.Nonblocking; w_sites = 3; w_start = mixed };
+  ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) all

@@ -31,6 +31,12 @@ open Camelot_sim
 open Camelot_mach
 open State
 
+(* Chaos fault points (no-ops unless an explorer is attached). *)
+let p_replication_forced = Camelot_chaos.register "nb.replication.forced"
+let p_commit_forced = Camelot_chaos.register "nb.commit.forced"
+let p_takeover_start = Camelot_chaos.register "nb.takeover.start"
+let p_refusal_forced = Camelot_chaos.register "nb.refusal.forced"
+
 (* Decision point reached: force the commit record, answer the
    application, notify in the background. *)
 let decide_commit st fam ~notify =
@@ -38,6 +44,7 @@ let decide_commit st fam ~notify =
   ignore
     (log_append_force st (Record.Commit { c_tid = tid; c_sites = fam.f_update_sites })
       : int);
+  Camelot_chaos.point ~site:(me st) p_commit_forced;
   resolve_family st fam Protocol.Committed;
   if notify <> [] then Two_phase.start_notify st fam ~update_subs:notify
   else begin
@@ -158,30 +165,50 @@ let coordinate st fam =
                   List.filteri (fun i _ -> i < still_needed) ro_subs
                 in
                 let targets = update_subs @ drafted_ro in
-                ignore
-                  (log_append_force st
-                     (Record.Replication
-                        {
-                          r_tid = tid;
-                          r_coordinator = me st;
-                          r_sites = all_sites;
-                          r_update_sites = fam.f_update_sites;
-                        })
-                    : int);
-                fam.f_quorum_side <- Q_commit;
-                match
-                  replicate_until_quorum st fam mb ~targets ~needed:(quorum - 1)
-                with
-                | `Adopted ->
-                    unregister_waiter st tid;
-                    (match fam.f_outcome with
-                    | Some o -> o
-                    | None -> assert false)
-                | `Quorum ->
-                    (* notify update subordinates only; drafted
-                       read-only sites hold a replication record but
-                       need no outcome (they hold no locks) *)
-                    decide_commit st fam ~notify:update_subs
+                (* claim the commit side under the family lock (§3.4):
+                   a takeover's Join_abort_quorum can race this force,
+                   and one site must never log both a Replication and a
+                   Refusal record (change 4) *)
+                let claimed =
+                  Sync.Mutex.with_lock fam.f_mutex (fun () ->
+                      if fam.f_outcome <> None || fam.f_quorum_side = Q_abort
+                      then false
+                      else begin
+                        ignore
+                          (log_append_force st
+                             (Record.Replication
+                                {
+                                  r_tid = tid;
+                                  r_coordinator = me st;
+                                  r_sites = all_sites;
+                                  r_update_sites = fam.f_update_sites;
+                                })
+                            : int);
+                        Camelot_chaos.point ~site:(me st) p_replication_forced;
+                        fam.f_quorum_side <- Q_commit;
+                        true
+                      end)
+                in
+                if not claimed then begin
+                  unregister_waiter st tid;
+                  match fam.f_outcome with
+                  | Some o -> o
+                  | None -> Two_phase.abort_distributed st fam ~subs
+                end
+                else
+                  match
+                    replicate_until_quorum st fam mb ~targets ~needed:(quorum - 1)
+                  with
+                  | `Adopted ->
+                      unregister_waiter st tid;
+                      (match fam.f_outcome with
+                      | Some o -> o
+                      | None -> assert false)
+                  | `Quorum ->
+                      (* notify update subordinates only; drafted
+                         read-only sites hold a replication record but
+                         need no outcome (they hold no locks) *)
+                      decide_commit st fam ~notify:update_subs
               end
             end
       end
@@ -270,6 +297,7 @@ let adopt st fam outcome =
       fan_out st ~dsts:peers outcome_msg)
 
 let takeover st fam =
+  Camelot_chaos.point ~site:(me st) p_takeover_start;
   let tid = fam.f_root in
   let peers = List.filter (fun s -> s <> me st) fam.f_sites in
   let n = List.length fam.f_sites in
@@ -302,14 +330,21 @@ let takeover st fam =
           if commit_count >= vc then adopt st fam Protocol.Committed
           else begin
             (* assemble an abort quorum among sites not on the commit
-               side (change 4 keeps the quorums disjoint) *)
-            if fam.f_quorum_side = Q_none then begin
-              ignore (log_append_force st (Record.Refusal { f_tid = tid }) : int);
-              fam.f_quorum_side <- Q_abort;
-              poll.refusals <- me st :: poll.refusals
-            end
-            else if fam.f_quorum_side = Q_abort && not (List.mem (me st) poll.refusals)
-            then poll.refusals <- me st :: poll.refusals;
+               side (change 4 keeps the quorums disjoint); the side is
+               re-checked under the family lock because a concurrent
+               Replicate handler may be forcing a Replication record *)
+            let joined_abort =
+              Sync.Mutex.with_lock fam.f_mutex (fun () ->
+                  if fam.f_quorum_side = Q_none && fam.f_outcome = None then begin
+                    ignore
+                      (log_append_force st (Record.Refusal { f_tid = tid }) : int);
+                    Camelot_chaos.point ~site:(me st) p_refusal_forced;
+                    fam.f_quorum_side <- Q_abort
+                  end;
+                  fam.f_quorum_side = Q_abort)
+            in
+            if joined_abort && not (List.mem (me st) poll.refusals) then
+              poll.refusals <- me st :: poll.refusals;
             let candidates =
               List.filter (fun s -> not (List.mem s replicated_peers)) peers
             in

@@ -51,6 +51,10 @@ type config = {
       (* a joined-but-never-prepared subordinate family inquires after
          this much silence: if the coordinator no longer knows the
          transaction (client crash), presumed abort frees the locks *)
+  mutable unsafe_skip_prepare_force : bool;
+      (* deliberate bug knob for the chaos explorer's self-test: spool
+         the subordinate's prepare record instead of forcing it, so a
+         crash between vote and outcome loses the prepared state *)
 }
 
 let default_config ?(threads = 5) () =
@@ -68,6 +72,7 @@ let default_config ?(threads = 5) () =
     piggyback_delay_ms = 25.0;
     commit_quorum = None;
     orphan_timeout_ms = 10_000.0;
+    unsafe_skip_prepare_force = false;
   }
 
 (* An independent mutable copy (each site owns its configuration). *)

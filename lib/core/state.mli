@@ -42,6 +42,9 @@ type config = {
   mutable piggyback_delay_ms : float;
   mutable commit_quorum : int option;
   mutable orphan_timeout_ms : float;
+  mutable unsafe_skip_prepare_force : bool;
+      (** deliberate bug knob for the chaos explorer's self-test: spool
+          the prepare record instead of forcing it *)
 }
 
 val default_config : ?threads:int -> unit -> config

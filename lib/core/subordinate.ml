@@ -9,6 +9,13 @@ open Camelot_sim
 open Camelot_mach
 open State
 
+(* Chaos fault points (no-ops unless an explorer is attached). *)
+let p_prepare_forced = Camelot_chaos.register "sub.prepare.forced"
+let p_vote_sent = Camelot_chaos.register "sub.vote.sent"
+let p_commit_applied = Camelot_chaos.register "sub.commit.applied"
+let p_abort_applied = Camelot_chaos.register "sub.abort.applied"
+let p_replication_forced = Camelot_chaos.register "sub.replication.forced"
+
 (* --------------------------------------------------------------- *)
 (* Applying a decided outcome at a subordinate *)
 
@@ -16,6 +23,7 @@ open State
    subordinate's part of the completion path is done; ack traffic and
    lazy log writes continue in background fibers. *)
 let apply_commit st fam ~ack_to =
+  Camelot_chaos.point ~site:(me st) p_commit_applied;
   let tid = fam.f_root in
   let coordinator = ack_to in
   let ack = Protocol.Outcome_ack { m_tid = tid; m_from = me st } in
@@ -53,6 +61,7 @@ let apply_commit st fam ~ack_to =
       send st ~dst:coordinator ack
 
 let apply_abort st fam =
+  Camelot_chaos.point ~site:(me st) p_abort_applied;
   resolve_family st fam Protocol.Aborted;
   if
     fam.f_protocol = Protocol.Two_phase
@@ -211,16 +220,21 @@ let handle_prepare st msg ~takeover =
                        m_vote = Protocol.Vote_yes { read_only = true };
                      })
             | Protocol.Vote_yes { read_only = _ } ->
-                ignore
-                  (log_append_force st
-                     (Record.Prepare
-                        {
-                          p_tid = m_tid;
-                          p_coordinator = m_coordinator;
-                          p_protocol = m_protocol;
-                          p_sites = m_sites;
-                        })
-                    : int);
+                let prepare_rec =
+                  Record.Prepare
+                    {
+                      p_tid = m_tid;
+                      p_coordinator = m_coordinator;
+                      p_protocol = m_protocol;
+                      p_sites = m_sites;
+                    }
+                in
+                (* the bug knob spools where correctness demands a
+                   force; the chaos explorer exists to catch this *)
+                if st.config.unsafe_skip_prepare_force then
+                  ignore (log_append st prepare_rec : int)
+                else ignore (log_append_force st prepare_rec : int);
+                Camelot_chaos.point ~site:(me st) p_prepare_forced;
                 fam.f_prepared <- true;
                 send st ~dst:m_coordinator
                   (Protocol.Vote
@@ -229,6 +243,7 @@ let handle_prepare st msg ~takeover =
                        m_from = me st;
                        m_vote = Protocol.Vote_yes { read_only = false };
                      });
+                Camelot_chaos.point ~site:(me st) p_vote_sent;
                 (match m_protocol with
                 | Protocol.Two_phase -> start_inquiry_watchdog st fam
                 | Protocol.Nonblocking -> start_takeover_watchdog st fam ~takeover)
@@ -245,41 +260,47 @@ let handle_replicate st msg =
       | None ->
           (* never prepared here (or long forgotten): presumed abort *)
           ()
-      | Some fam -> (
-          match (fam.f_outcome, fam.f_quorum_side) with
-          | Some Protocol.Committed, _ | None, Q_commit ->
-              (* duplicate: re-ack *)
-              send st ~dst:m_coordinator
-                (Protocol.Replicate_ack { m_tid; m_from = me st })
-          | Some Protocol.Aborted, _ ->
-              (* a takeover aborted this transaction while the
-                 replicating coordinator was unreachable: tell it, so
-                 its replication loop adopts the outcome instead of
-                 retrying forever *)
-              send st ~dst:m_coordinator
-                (Protocol.Outcome
-                   { m_tid; m_from = me st; m_outcome = Protocol.Aborted })
-          | None, Q_abort -> ()
-          | None, Q_none ->
-              (* prepared update subordinates join the commit quorum;
-                 so do read-only ones the coordinator drafted to reach
-                 quorum size ("often need not participate" — but may) *)
-              if fam.f_prepared || fam.f_read_only_done then begin
-                ignore
-                  (log_append_force st
-                     (Record.Replication
-                        {
-                          r_tid = m_tid;
-                          r_coordinator = m_coordinator;
-                          r_sites = m_sites;
-                          r_update_sites = m_update_sites;
-                        })
-                    : int);
-                fam.f_quorum_side <- Q_commit;
-                fam.f_update_sites <- m_update_sites;
-                send st ~dst:m_coordinator
-                  (Protocol.Replicate_ack { m_tid; m_from = me st })
-              end))
+      | Some fam ->
+          (* f_mutex serializes quorum-side decisions (§3.4 per-family
+             lock): the side check and the force that backs it must be
+             atomic against a concurrent takeover refusal, or one site
+             could join both quorums (change 4 forbids exactly that). *)
+          Sync.Mutex.with_lock fam.f_mutex (fun () ->
+              match (fam.f_outcome, fam.f_quorum_side) with
+              | Some Protocol.Committed, _ | None, Q_commit ->
+                  (* duplicate: re-ack *)
+                  send st ~dst:m_coordinator
+                    (Protocol.Replicate_ack { m_tid; m_from = me st })
+              | Some Protocol.Aborted, _ ->
+                  (* a takeover aborted this transaction while the
+                     replicating coordinator was unreachable: tell it, so
+                     its replication loop adopts the outcome instead of
+                     retrying forever *)
+                  send st ~dst:m_coordinator
+                    (Protocol.Outcome
+                       { m_tid; m_from = me st; m_outcome = Protocol.Aborted })
+              | None, Q_abort -> ()
+              | None, Q_none ->
+                  (* prepared update subordinates join the commit quorum;
+                     so do read-only ones the coordinator drafted to reach
+                     quorum size ("often need not participate" — but may) *)
+                  if fam.f_prepared || fam.f_read_only_done then begin
+                    ignore
+                      (log_append_force st
+                         (Record.Replication
+                            {
+                              r_tid = m_tid;
+                              r_coordinator = m_coordinator;
+                              r_sites = m_sites;
+                              r_update_sites = m_update_sites;
+                            })
+                        : int);
+                    Camelot_chaos.point ~site:(me st) p_replication_forced;
+                    fam.f_quorum_side <- Q_commit;
+                    fam.f_update_sites <- m_update_sites;
+                    send st ~dst:m_coordinator
+                      (Protocol.Replicate_ack { m_tid; m_from = me st })
+                  end))
   | _ -> invalid_arg "Subordinate.handle_replicate"
 
 (* Outcome notice. Idempotent: duplicates re-ack commits (the
@@ -345,14 +366,16 @@ let handle_join_abort_quorum st msg =
       let reply ok =
         send st ~dst:m_from (Protocol.Refused { m_tid; m_from = me st; m_ok = ok })
       in
-      match find_family st m_tid with
-      | None ->
-          (* never heard of it: safe to promise never to commit it *)
-          let fam = find_or_join_family st m_tid in
-          ignore (log_append_force st (Record.Refusal { f_tid = m_tid }) : int);
-          fam.f_quorum_side <- Q_abort;
-          reply true
-      | Some fam -> (
+      let fam =
+        match find_family st m_tid with
+        | Some fam -> fam
+        | None ->
+            (* never heard of it: safe to promise never to commit it *)
+            find_or_join_family st m_tid
+      in
+      (* under f_mutex, against a concurrent handle_replicate — a site
+         must never end up on both quorum sides *)
+      Sync.Mutex.with_lock fam.f_mutex (fun () ->
           match (fam.f_outcome, fam.f_quorum_side) with
           | Some Protocol.Committed, _ | None, Q_commit -> reply false
           | Some Protocol.Aborted, _ | None, Q_abort -> reply true

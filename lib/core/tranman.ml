@@ -110,14 +110,34 @@ let trace st = st.trace
 
 (* Run a request on a worker thread and wait for the reply; exceptions
    (e.g. Unknown_transaction) travel back to the caller. *)
+let tranman_down st reason =
+  Rpc.Rpc_failure { callee = Site.id st.site; reason }
+
 let on_pool st job =
   Rpc.local_ipc st.site;
+  let group = Site.group st.site in
+  if Fiber.Group.killed group then raise (tranman_down st "tranman site down");
+  let inc = Site.incarnation st.site in
   let reply = Mailbox.create (engine st) in
+  (* A site crash silences the worker pool: queued jobs are never
+     served and in-service workers die without replying. A caller from
+     another site (the inline half of a cross-site RPC) would block
+     forever, so group death fails the request like a broken RPC. *)
+  let hook =
+    Fiber.Group.register group (fun () ->
+        Mailbox.send reply (Error (tranman_down st "tranman site crashed")))
+  in
   Thread_pool.submit (pool st) (fun () ->
       charge_cpu st;
       let r = match job () with v -> Ok v | exception e -> Error e in
+      Fiber.Group.unregister group hook;
       Mailbox.send reply r);
-  match Mailbox.recv reply with Ok v -> v | Error e -> raise e
+  match Mailbox.recv reply with
+  | Ok v -> v
+  | Error e ->
+      if (not (Site.alive st.site)) || Site.incarnation st.site <> inc then
+        raise (tranman_down st "tranman site crashed")
+      else raise e
 
 let require_family st tid =
   match find_family st tid with
@@ -384,7 +404,18 @@ let recover st =
                 ~update_subs:subs
           end
           else if fam.f_prepared || fam.f_quorum_side <> Q_none then
-            in_doubt := fam.f_root :: !in_doubt)
+            in_doubt := fam.f_root :: !in_doubt
+          else begin
+            (* never prepared here and no quorum promise: this
+               transaction can never commit (any commit requires a
+               durable prepare/replication first), so presumed abort
+               resolves it now — a blocked subordinate's inquiry then
+               gets a decisive answer instead of St_active forever *)
+            resolve_family st fam Protocol.Aborted;
+            ignore
+              (Camelot_wal.Log.append st.log (Record.Abort { a_tid = fam.f_root })
+                : int)
+          end)
     st.families;
   (* start the appropriate blocked-state watchdogs *)
   List.iter

@@ -12,6 +12,12 @@ open Camelot_sim
 open Camelot_mach
 open State
 
+(* Chaos fault points (no-ops unless an explorer is attached). *)
+let p_prepare_sent = Camelot_chaos.register "coord.prepare.sent"
+let p_commit_forced = Camelot_chaos.register "coord.commit.forced"
+let p_abort_logged = Camelot_chaos.register "coord.abort.logged"
+let p_acks_in = Camelot_chaos.register "coord.acks.in"
+
 (* Local commitment: no subordinates. One forced log write commits the
    transaction (Figure 1 step 9); a fully read-only transaction writes
    nothing at all. *)
@@ -24,6 +30,7 @@ let commit_local st fam ~read_only =
   end
   else begin
     ignore (log_append_force st (Record.Commit { c_tid = tid; c_sites = [] }) : int);
+    Camelot_chaos.point ~site:(me st) p_commit_forced;
     resolve_family st fam Protocol.Committed;
     (* Figure 1 step 11: drop-locks messages follow the reply *)
     Site.spawn st.site ~name:"drop-locks" (fun () -> drop_local_locks st fam);
@@ -54,6 +61,7 @@ let start_notify ?(outcome = Protocol.Committed) st fam ~update_subs =
         end
       in
       loop ();
+      Camelot_chaos.point ~site:(me st) p_acks_in;
       ignore (log_append st (Record.End { e_tid = tid }) : int);
       unregister_waiter st tid;
       tracef st "2pc" "%a: all %a-acks in; forgotten" Tid.pp tid
@@ -79,6 +87,7 @@ let abort_distributed st fam ~subs =
       resolve_family st fam Protocol.Aborted;
       if subs = [] then ignore (log_append st (Record.End { e_tid = tid }) : int)
       else start_notify ~outcome:Protocol.Aborted st fam ~update_subs:subs);
+  Camelot_chaos.point ~site:(me st) p_abort_logged;
   abort_local st fam;
   Protocol.Aborted
 
@@ -189,6 +198,7 @@ let coordinate st fam =
             }
         in
         fan_out st ~dsts:subs prepare_msg;
+        Camelot_chaos.point ~site:(me st) p_prepare_sent;
         let votes = collect_votes st fam mb ~subs ~prepare_msg in
         if votes.refused || votes.n_pending > 0 then begin
           unregister_waiter st tid;
@@ -211,6 +221,7 @@ let coordinate st fam =
               (log_append_force st
                  (Record.Commit { c_tid = tid; c_sites = update_subs })
                 : int);
+            Camelot_chaos.point ~site:(me st) p_commit_forced;
             resolve_family st fam Protocol.Committed;
             (* notification, ack collection and local lock release all
                happen after the commit call returns *)

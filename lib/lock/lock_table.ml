@@ -360,5 +360,17 @@ let queue_length t ~key =
           else acc)
         0 e.queue
 
+let all_held t =
+  let acc = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some e ->
+          for i = e.h_len - 1 downto 0 do
+            acc := (e.e_key, e.h_owners.(i), e.h_modes.(i)) :: !acc
+          done)
+    t.slots;
+  !acc
+
 let grants t = t.grants
 let contended_grants t = t.contended_grants

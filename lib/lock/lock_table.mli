@@ -76,6 +76,11 @@ val keys_of : 'o t -> owner:'o -> string list
 (** Requests currently waiting on [key]. *)
 val queue_length : 'o t -> key:string -> int
 
+(** Every [(key, owner, mode)] holding in the table, in internal slot
+    order. After all transactions have resolved the table should hold
+    nothing; the chaos lock-hygiene oracle asserts exactly that. *)
+val all_held : 'o t -> (string * 'o * mode) list
+
 (** Total grants so far. *)
 val grants : 'o t -> int
 

@@ -66,6 +66,11 @@ let nic t site =
       Hashtbl.replace t.nics (Site.id site) n;
       n
 
+(* Chaos fault point: targeted drop of the k-th datagram leaving a
+   site. Consulted after the loss draw so the RNG stream is identical
+   whether or not an explorer is attached. *)
+let p_datagram = Camelot_chaos.register ~kind:Camelot_chaos.Choice "net.datagram"
+
 (* Transmit one already-serialized datagram: the sender's cycle-time has
    been charged by the caller; [start] is when the bits leave the NIC. *)
 let transmit t ~src ~start ep msg =
@@ -73,6 +78,7 @@ let transmit t ~src ~start ep msg =
   let src_id = Site.id src in
   let dst_id = Site.id ep.site in
   if Rng.bool t.rng ~p:t.loss then t.dropped <- t.dropped + 1
+  else if Camelot_chaos.deny ~site:src_id p_datagram then t.dropped <- t.dropped + 1
   else begin
     let jitter = Rng.exponential t.rng ~mean:t.model.Cost_model.datagram_jitter_ms in
     let arrival = start +. t.model.Cost_model.datagram_ms +. jitter in

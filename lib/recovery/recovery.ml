@@ -2,9 +2,17 @@ open Camelot_core
 
 type verdict = Winner | In_doubt | Loser
 
+(* Chaos fault points: crash *during* recovery, after the log scan and
+   between the redo and undo passes. Recovery must be idempotent under
+   both. *)
+let p_scan_done = Camelot_chaos.register "recovery.scan.done"
+let p_redo_done = Camelot_chaos.register "recovery.redo.done"
+
 let run ~tranman ~log ~servers =
+  let site_id = Camelot_mach.Site.id (Tranman.site tranman) in
   let records = Camelot_wal.Log.durable_records log in
   let in_doubt = Tranman.recover tranman in
+  Camelot_chaos.point ~site:site_id p_scan_done;
   let verdict_of tid =
     match Tranman.status tranman tid with
     | Protocol.St_committed -> Winner
@@ -58,6 +66,7 @@ let run ~tranman ~log ~servers =
           | Winner | Loser -> Camelot_server.Data_server.redo srv u)
         servers)
     updates;
+  Camelot_chaos.point ~site:site_id p_redo_done;
   (* reverse pass: undo the losers *)
   List.iter
     (fun (u : Record.update) ->

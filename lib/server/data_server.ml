@@ -51,6 +51,17 @@ let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.values []
 
 let veto_next t tid = (family_state t tid).fs_veto <- tid :: (family_state t tid).fs_veto
 
+let spool_update t tid ~key ~old_v ~new_v =
+  t.updates_spooled <- t.updates_spooled + 1;
+  (* the server reports old and new values to the disk manager, which
+     copies them into the log buffer — real CPU on the site *)
+  Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
+  ignore
+    (Camelot_wal.Log.append t.log
+       (Record.Update
+          { u_tid = tid; u_server = t.name; u_key = key; u_old = old_v; u_new = new_v })
+      : int)
+
 (* --- callbacks registered with the transaction manager ----------- *)
 
 let in_subtree root tid = Tid.is_ancestor root tid
@@ -63,7 +74,17 @@ let do_abort t tid =
   let keep, gone =
     List.partition (fun e -> not (in_subtree tid e.e_tid)) fs.fs_undo
   in
-  List.iter (fun e -> Hashtbl.replace t.values e.e_key e.e_old) gone;
+  List.iter
+    (fun e ->
+      (* a nested abort must survive a later family commit: spool a
+         compensating update, or crash recovery's redo pass would
+         resurrect the aborted subtree's writes from their original
+         update records (the volatile undo below is not enough) *)
+      if not (Tid.is_top tid) then
+        spool_update t e.e_tid ~key:e.e_key ~old_v:(get_value t e.e_key)
+          ~new_v:e.e_old;
+      Hashtbl.replace t.values e.e_key e.e_old)
+    gone;
   fs.fs_undo <- keep;
   List.iter
     (fun owner ->
@@ -154,17 +175,6 @@ let acquire t tid ~key mode =
   | Some timeout ->
       if not (Camelot_lock.Lock_table.acquire_timeout t.locks ~owner:tid ~key mode ~timeout)
       then raise (Lock_timeout { server = t.name; key })
-
-let spool_update t tid ~key ~old_v ~new_v =
-  t.updates_spooled <- t.updates_spooled + 1;
-  (* the server reports old and new values to the disk manager, which
-     copies them into the log buffer — real CPU on the site *)
-  Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
-  ignore
-    (Camelot_wal.Log.append t.log
-       (Record.Update
-          { u_tid = tid; u_server = t.name; u_key = key; u_old = old_v; u_new = new_v })
-      : int)
 
 let apply_write t fs tid ~key new_v =
   let old_v = get_value t key in

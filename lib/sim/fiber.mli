@@ -39,6 +39,16 @@ module Group : sig
   val kill : t -> unit
 
   val killed : t -> bool
+
+  (** [register t hook] runs [hook] once when the group is killed (or
+      never, if {!unregister}ed first); returns a handle for
+      {!unregister}. This is how non-member fibers blocked on a reply
+      from the group observe its death. Registering on an
+      already-killed group does {e not} run the hook — check
+      {!killed} first. *)
+  val register : t -> (unit -> unit) -> int
+
+  val unregister : t -> int -> unit
 end
 
 (** [spawn engine fn] queues [fn] to start as a fiber at the current

@@ -53,11 +53,22 @@ let durable_lsn t = t.durable
 
 let force_ms t = (Camelot_mach.Site.model t.site).Camelot_mach.Cost_model.log_force_ms
 
+(* Chaos fault point: a torn force — the site dies mid-write, all but
+   the last spooled record land, and the force never returns. *)
+let p_torn = Camelot_chaos.register ~kind:Camelot_chaos.Choice "wal.force.torn"
+
 (* One physical write makes everything spooled at write start durable. *)
 let disk_write t =
   let target = tail_lsn t in
   ignore (Sync.Resource.use t.disk ~duration:(force_ms t) : float);
   t.disk_writes <- t.disk_writes + 1;
+  let site_id = Camelot_mach.Site.id t.site in
+  if Camelot_chaos.deny ~site:site_id p_torn then begin
+    (* the partial-durability update must precede the crash so
+       [crash]'s truncation sees the torn write's true extent *)
+    if target - 1 > t.durable then t.durable <- target - 1;
+    Camelot_chaos.die ~site:site_id ()
+  end;
   if target > t.durable then t.durable <- target;
   Sync.Condition.broadcast t.cond
 

@@ -338,6 +338,120 @@ let test_abort_with_incomplete_knowledge () =
       wait_until ~what:"sub learns the abort by inquiry" (fun () -> peek c 1 "k" = 0))
 
 (* ------------------------------------------------------------------ *)
+(* Recovery idempotence: recovering twice — or crashing during
+   recovery and recovering again — must land in the same state, since
+   a site can always crash again before its first recovery finishes. *)
+
+(* Leave site 1 with one committed value ("w"=4) and one in-doubt
+   prepared transaction ("k"=9, lock held) and crash it. *)
+let setup_crashed_site_with_in_doubt c =
+  let w, _ = spawn_txn c ~origin:0 ~ops:[ (1, Data_server.Write ("w", 4)) ] () in
+  wait_until ~what:"winner committed" (fun () -> !w = Some Protocol.Committed);
+  wait_until ~what:"winner durable at sub" (fun () ->
+      List.exists
+        (fun (_, r) -> is_commit r)
+        (Camelot_wal.Log.durable_records (Camelot.Cluster.log c 1)));
+  let _doubt, _ = spawn_txn c ~origin:0 ~ops:[ (1, Data_server.Write ("k", 9)) ] () in
+  (* cut the network while the second prepare force (the winner already
+     left one prepare record here) is still in flight: the yes-vote
+     (sent only once the force completes) is dropped, so the
+     coordinator never decides and the subordinate stays prepared *)
+  let durable_prepares () =
+    List.length
+      (List.filter
+         (fun (_, r) -> is_prepare r)
+         (Camelot_wal.Log.durable_records (Camelot.Cluster.log c 1)))
+  in
+  wait_until ~what:"in-doubt prepare appended" (fun () ->
+      count_records c 1 is_prepare >= 2);
+  Camelot.Cluster.partition c [ [ 0 ]; [ 1 ] ];
+  wait_until ~what:"in-doubt prepare durable" (fun () -> durable_prepares () >= 2);
+  Camelot.Cluster.crash_site c 1;
+  (* let the in-flight yes-vote reach its delivery time and die against
+     the partition before any restart heals the network: the scenario
+     must deterministically stay in doubt *)
+  Fiber.sleep 500.0
+
+let snapshot_site c site =
+  let locks =
+    List.map
+      (fun (key, owner, mode) -> (key, Tid.to_string owner, mode))
+      (Camelot_lock.Lock_table.all_held
+         (Data_server.locks (Camelot.Cluster.server c site)))
+  in
+  (peek c site "w", peek c site "k", List.sort compare locks)
+
+let test_recovery_run_twice_identical () =
+  let c = quiet_cluster ~sites:2 () in
+  orchestrate c (fun () ->
+      setup_crashed_site_with_in_doubt c;
+      let in_doubt1 = Camelot.Cluster.restart_site c 1 in
+      Alcotest.(check int) "one in doubt after first recovery" 1
+        (List.length in_doubt1);
+      let s1 = snapshot_site c 1 in
+      (* run recovery a second time over the same log, exactly as a
+         restart would (servers reset, then replay) *)
+      let n = Camelot.Cluster.node c 1 in
+      List.iter
+        (fun srv ->
+          Data_server.reset srv;
+          Data_server.reattach srv)
+        n.Camelot.Cluster.servers;
+      let in_doubt2 =
+        Camelot_recovery.Recovery.run ~tranman:n.Camelot.Cluster.tranman
+          ~log:n.Camelot.Cluster.log ~servers:n.Camelot.Cluster.servers
+      in
+      Alcotest.(check int) "same in-doubt set" (List.length in_doubt1)
+        (List.length in_doubt2);
+      let s2 = snapshot_site c 1 in
+      Alcotest.(check bool) "identical store and lock state" true (s1 = s2);
+      let w, k, locks = s2 in
+      Alcotest.(check int) "committed value survived both replays" 4 w;
+      Alcotest.(check int) "in-doubt value held" 9 k;
+      Alcotest.(check int) "exactly one lock held" 1 (List.length locks);
+      (* heal: the inquiry loop resolves the in-doubt to presumed abort *)
+      Camelot.Cluster.heal c;
+      wait_until ~what:"in-doubt resolved to abort" (fun () -> peek c 1 "k" = 0);
+      wait_until ~what:"locks free" (fun () ->
+          Camelot_lock.Lock_table.all_held
+            (Data_server.locks (Camelot.Cluster.server c 1))
+          = []);
+      Alcotest.(check int) "committed value intact" 4 (peek c 1 "w"))
+
+let test_crash_mid_recovery_then_recover ~at () =
+  let c = quiet_cluster ~sites:2 () in
+  orchestrate c (fun () ->
+      setup_crashed_site_with_in_doubt c;
+      (* kill site 1 again the moment its recovery reaches [at]; the
+         recovery here runs in this orchestrator fiber, so the crash
+         surfaces as [Camelot_chaos.Killed] *)
+      let hits = ref 0 in
+      Camelot_chaos.attach
+        ~on_hit:(fun ~point ~site ->
+          if point = at && site = 1 then begin
+            incr hits;
+            if !hits = 1 then Camelot_chaos.Kill else Camelot_chaos.Pass
+          end
+          else Camelot_chaos.Pass)
+        ~crash:(fun ~site -> Camelot.Cluster.crash_site c site);
+      Fun.protect ~finally:Camelot_chaos.detach (fun () ->
+          (match Camelot.Cluster.restart_site c 1 with
+          | (_ : Tid.t list) -> Alcotest.failf "recovery survived crash at %s" at
+          | exception Camelot_chaos.Killed -> ());
+          (* second recovery over the same log must complete and land in
+             the canonical post-recovery state *)
+          let in_doubt = Camelot.Cluster.restart_site c 1 in
+          Alcotest.(check int) "one in doubt after re-recovery" 1
+            (List.length in_doubt));
+      let w, k, locks = snapshot_site c 1 in
+      Alcotest.(check int) "committed value survived" 4 w;
+      Alcotest.(check int) "in-doubt value held" 9 k;
+      Alcotest.(check int) "exactly one lock held" 1 (List.length locks);
+      Camelot.Cluster.heal c;
+      wait_until ~what:"in-doubt resolved to abort" (fun () -> peek c 1 "k" = 0);
+      Alcotest.(check int) "committed value intact" 4 (peek c 1 "w"))
+
+(* ------------------------------------------------------------------ *)
 (* Checkpointing *)
 
 let is_checkpoint = function Camelot_core.Record.Checkpoint _ -> true | _ -> false
@@ -469,6 +583,12 @@ let () =
           Alcotest.test_case "replay preserves committed state" `Quick
             test_recovery_redo_winners_undo_losers;
           Alcotest.test_case "unforced tail lost" `Quick test_recovery_loses_unforced_tail;
+          Alcotest.test_case "recovery run twice is idempotent" `Quick
+            test_recovery_run_twice_identical;
+          Alcotest.test_case "crash during log scan, recover again" `Quick
+            (test_crash_mid_recovery_then_recover ~at:"recovery.scan.done");
+          Alcotest.test_case "crash during redo, recover again" `Quick
+            (test_crash_mid_recovery_then_recover ~at:"recovery.redo.done");
         ] );
       ( "checkpoint",
         [

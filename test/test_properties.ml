@@ -352,7 +352,8 @@ let test_metrics_snapshot () =
   Alcotest.(check bool) "pp renders" true
     (String.length (Format.asprintf "%a" Camelot.Metrics.pp m) > 0)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())) tests
 
 let () =
   Alcotest.run "camelot_properties"

@@ -64,6 +64,29 @@ let is_update = function Record.Update _ -> true | _ -> false
 
 let peek c site key = Camelot_server.Data_server.peek (Camelot.Cluster.server c site) key
 
+(* Deterministic replay for the randomized suites. CAMELOT_SEED pins
+   the QCheck generator state; without it a fresh seed is drawn and
+   printed up front, so any failure report carries the exact seed to
+   replay with `CAMELOT_SEED=<n> dune runtest`. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "CAMELOT_SEED" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n ->
+            Printf.eprintf "camelot: replaying with CAMELOT_SEED=%d\n%!" n;
+            n
+        | None -> invalid_arg "CAMELOT_SEED must be an integer")
+    | None ->
+        Random.self_init ();
+        let n = Random.int 0x3FFFFFFF in
+        Printf.eprintf
+          "camelot: property seed %d (replay failures with CAMELOT_SEED=%d)\n%!"
+          n n;
+        n)
+
+let qcheck_rand () = Random.State.make [| Lazy.force qcheck_seed |]
+
 (* Poll a predicate from inside a fiber (used by failure tests to crash
    a site at a precise protocol state). *)
 let wait_until ?(timeout = 30_000.0) ?(what = "condition") pred =
