@@ -1,14 +1,21 @@
 (* Compare two camelot-bench baselines and fail on perf regressions.
 
    Usage: compare.exe OLD.json NEW.json [--threshold 1.25]
+                                        [--tps-threshold 0.92]
 
-   Reads the "benchmarks_ns_per_run" section of each file (the flat
-   name -> ns map [main.ml] writes; a full JSON parser would be a
-   dependency for nothing) and flags every benchmark present in both
-   whose new/old ratio exceeds the threshold. Benchmarks appearing in
-   only one file are listed but never fail the run, so adding or
-   retiring a benchmark does not break the guard. Exits 1 iff some
-   shared benchmark regressed. *)
+   Reads two flat name -> number sections of each file ([main.ml]
+   writes them; a full JSON parser would be a dependency for nothing):
+
+   - "benchmarks_ns_per_run" (wall-clock, lower is better): flags
+     every benchmark present in both whose new/old ratio exceeds the
+     threshold;
+   - "throughput_tps" (simulated closed-loop TPS, higher is better):
+     flags every shared operating point whose new/old ratio falls
+     below the tps threshold.
+
+   Entries appearing in only one file are listed but never fail the
+   run, so adding or retiring a benchmark does not break the guard.
+   Exits 1 iff some shared entry regressed. *)
 
 let usage () =
   prerr_endline "usage: compare.exe OLD.json NEW.json [--threshold RATIO]";
@@ -41,52 +48,44 @@ let parse_entry line =
               in
               Some (name, float_of_string_opt v)))
 
-let benchmarks path =
+let section ?(required = true) path name =
   let ic = try open_in path with Sys_error e -> prerr_endline e; exit 2 in
   let rec skip () =
     match input_line ic with
     | exception End_of_file ->
-        Printf.eprintf "%s: no benchmarks_ns_per_run section\n" path;
-        exit 2
-    | line -> if not (contains_sub line "\"benchmarks_ns_per_run\"") then skip ()
+        if required then begin
+          Printf.eprintf "%s: no %s section\n" path name;
+          exit 2
+        end
+        else false
+    | line -> contains_sub line ("\"" ^ name ^ "\"") || skip ()
   in
-  skip ();
-  let rec collect acc =
-    match input_line ic with
-    | exception End_of_file -> List.rev acc
-    | line -> (
-        let trimmed = String.trim line in
-        if trimmed = "}" || trimmed = "}," then List.rev acc
-        else
-          match parse_entry line with
-          | Some (name, Some v) -> collect ((name, v) :: acc)
-          | Some (_, None) | None -> collect acc)
+  let entries =
+    if not (skip ()) then []
+    else begin
+      let rec collect acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            let trimmed = String.trim line in
+            if trimmed = "}" || trimmed = "}," then List.rev acc
+            else
+              match parse_entry line with
+              | Some (name, Some v) -> collect ((name, v) :: acc)
+              | Some (_, None) | None -> collect acc)
+      in
+      collect []
+    end
   in
-  let entries = collect [] in
   close_in ic;
   entries
 
-let () =
-  let threshold = ref 1.25 in
-  let files = ref [] in
-  let rec parse_args = function
-    | [] -> ()
-    | "--threshold" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some f when f > 0.0 -> threshold := f
-        | Some _ | None -> usage ());
-        parse_args rest
-    | a :: rest ->
-        files := a :: !files;
-        parse_args rest
-  in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  let old_path, new_path =
-    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
-  in
-  let old_b = benchmarks old_path and new_b = benchmarks new_path in
+(* One section's comparison table. [bad ratio] decides regression:
+   ns/run regresses above its threshold, tps regresses below its. *)
+let compare_section ~title ~unit_label ~bad old_b new_b =
   let regressions = ref 0 in
-  Printf.printf "%-55s %14s %14s %8s\n" "BENCH" "OLD ns" "NEW ns" "RATIO";
+  Printf.printf "%-55s %14s %14s %8s\n" title ("OLD " ^ unit_label)
+    ("NEW " ^ unit_label) "RATIO";
   List.iter
     (fun (name, nv) ->
       match List.assoc_opt name old_b with
@@ -94,7 +93,7 @@ let () =
       | Some ov ->
           let ratio = nv /. ov in
           let flag =
-            if ratio > !threshold then begin
+            if bad ratio then begin
               incr regressions;
               "  <-- REGRESSION"
             end
@@ -107,9 +106,57 @@ let () =
       if not (List.mem_assoc name new_b) then
         Printf.printf "%-55s %14.1f %14s %8s\n" name ov "-" "gone")
     old_b;
-  if !regressions > 0 then begin
-    Printf.printf "\n%d benchmark(s) slower than %.2fx the %s baseline.\n"
-      !regressions !threshold old_path;
+  !regressions
+
+let () =
+  let threshold = ref 1.25 in
+  let tps_threshold = ref 0.92 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | Some _ | None -> usage ());
+        parse_args rest
+    | "--tps-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> tps_threshold := f
+        | Some _ | None -> usage ());
+        parse_args rest
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
+  in
+  let ns_regressions =
+    compare_section ~title:"BENCH" ~unit_label:"ns"
+      ~bad:(fun r -> r > !threshold)
+      (section old_path "benchmarks_ns_per_run")
+      (section new_path "benchmarks_ns_per_run")
+  in
+  (* tps section is optional in OLD baselines that predate it *)
+  let old_tps = section ~required:false old_path "throughput_tps" in
+  let new_tps = section ~required:false new_path "throughput_tps" in
+  let tps_regressions =
+    if old_tps = [] || new_tps = [] then 0
+    else begin
+      print_newline ();
+      compare_section ~title:"THROUGHPUT" ~unit_label:"tps"
+        ~bad:(fun r -> r < !tps_threshold)
+        old_tps new_tps
+    end
+  in
+  let regressions = ns_regressions + tps_regressions in
+  if regressions > 0 then begin
+    Printf.printf
+      "\n%d entr(y/ies) regressed vs %s (ns > %.2fx or tps < %.2fx).\n"
+      regressions old_path !threshold !tps_threshold;
     exit 1
   end
-  else Printf.printf "\nNo regression beyond %.2fx against %s.\n" !threshold old_path
+  else
+    Printf.printf "\nNo regression (ns <= %.2fx, tps >= %.2fx) against %s.\n"
+      !threshold !tps_threshold old_path

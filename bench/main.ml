@@ -19,7 +19,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let json_path =
-  let path = ref "BENCH_2.json" in
+  let path = ref "BENCH_3.json" in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
     Sys.argv;
@@ -220,6 +220,55 @@ let bench_lock_contended () =
   done;
   Camelot_sim.Engine.run eng
 
+let bench_wal_batched () =
+  (* 8 writers force-committing through the logger daemon: LSN-ordered
+     parking, adaptive batching, double-buffered platter writes *)
+  let eng = Camelot_sim.Engine.create () in
+  let site =
+    Camelot_mach.Site.create eng ~id:0 ~model:Camelot_mach.Cost_model.rt
+      ~rng:(Camelot_sim.Rng.create ~seed:3)
+  in
+  let log =
+    Camelot_wal.Log.create ~group_commit:true
+      ~daemon:Camelot_wal.Log.daemon_defaults site
+  in
+  Camelot_wal.Log.start_daemon log ~flush_every:50.0;
+  for _ = 1 to 8 do
+    Camelot_sim.Fiber.spawn eng (fun () ->
+        for i = 1 to 125 do
+          ignore (Camelot_wal.Log.append_force log i : int)
+        done)
+  done;
+  Camelot_sim.Engine.run ~until:10_000.0 eng
+
+(* Recovery-scan rigs, built once: a 10k-record log, full versus
+   truncated to the newest 100 records. Scanning the truncated one
+   must cost O(window), not O(history) — that ratio is the point of
+   checkpoint truncation. *)
+let scan_log_full, scan_log_truncated =
+  let make () =
+    let eng = Camelot_sim.Engine.create () in
+    let site =
+      Camelot_mach.Site.create eng ~id:0 ~model:Camelot_mach.Cost_model.rt
+        ~rng:(Camelot_sim.Rng.create ~seed:3)
+    in
+    let log = Camelot_wal.Log.create site in
+    Camelot_sim.Fiber.run eng (fun () ->
+        for i = 0 to 9_999 do
+          ignore (Camelot_wal.Log.append log i : int)
+        done;
+        Camelot_wal.Log.force log);
+    log
+  in
+  let full = make () in
+  let truncated = make () in
+  Camelot_wal.Log.truncate truncated ~keep_from:9_900;
+  (full, truncated)
+
+let bench_recovery_scan log () =
+  ignore
+    (Camelot_wal.Log.fold_durable log ~init:0 ~f:(fun acc _ v -> acc + v) : int)
+
 let run_txn protocol subs =
   let c = Camelot.Cluster.create ~sites:(subs + 1) () in
   let tm = Camelot.Cluster.tranman c 0 in
@@ -265,6 +314,19 @@ let tests =
         (Staged.stage (fun () ->
              ignore
                (Camelot_experiments.Throughput.run_one ~workers_per_site:8
+                  ~group_commit:true ~horizon_ms:1000.0 ()
+                 : Camelot_experiments.Throughput.result)));
+      Test.make ~name:"wal: 1k append+force batched"
+        (Staged.stage bench_wal_batched);
+      Test.make ~name:"wal: recovery scan 10k records (full)"
+        (Staged.stage (bench_recovery_scan scan_log_full));
+      Test.make ~name:"wal: recovery scan 10k records (truncated)"
+        (Staged.stage (bench_recovery_scan scan_log_truncated));
+      Test.make ~name:"txn: closed-loop 4 sites, 8 workers/site, 1 s (gc on)"
+        (Staged.stage (fun () ->
+             ignore
+               (Camelot_experiments.Throughput.run_one ~sites:4
+                  ~logger:Camelot.Cluster.Adaptive ~workers_per_site:8
                   ~group_commit:true ~horizon_ms:1000.0 ()
                  : Camelot_experiments.Throughput.result)));
     ]

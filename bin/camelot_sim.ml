@@ -137,6 +137,12 @@ let cmds =
       (fun ~reps () -> Camelot_experiments.Multicast.run ~reps ());
     with_reps "ablations" "Ablations: §3.2 variants, read-only opt, quorums, batching window."
       (fun ~reps () -> Camelot_experiments.Ablations.run ~reps ());
+    with_horizon "logger-sweep"
+      "Logger bottleneck: naive vs fixed-window vs adaptive-daemon write-out."
+      (fun ~horizon_ms () ->
+        ignore
+          (Camelot_experiments.Logger_sweep.run ~horizon_ms ()
+            : Camelot_experiments.Logger_sweep.point list));
     all_cmd;
   ]
 

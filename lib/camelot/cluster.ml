@@ -9,19 +9,75 @@ type node = {
   mutable servers : Camelot_server.Data_server.t list;
 }
 
+type logger = Fixed | Adaptive
+
 type t = {
   engine : Engine.t;
   lan : Camelot_net.Lan.t;
   model : Cost_model.t;
   nodes : node array;
   flush_every_ms : float;
+  logger : logger;
+  checkpoint_every : int option;
 }
+
+(* Chaos fault point: a crash between the checkpoint record becoming
+   durable and the truncation that relies on it. *)
+let p_truncate = Camelot_chaos.register "wal.truncate"
 
 let server_name ~site_id ~index = Printf.sprintf "s%d_%d" site_id index
 
+(* (Re)start the background log machinery of one log for the current
+   site incarnation: the logger daemon in [Adaptive] mode, the plain
+   periodic flusher otherwise. *)
+let start_log_daemons ~flush_every_ms log =
+  if Camelot_wal.Log.daemon_mode log then
+    Camelot_wal.Log.start_daemon log ~flush_every:flush_every_ms
+  else Camelot_wal.Log.start_flusher log ~every:flush_every_ms
+
+(* Force a checkpoint record (committed value snapshot, in-flight
+   updates, live family images) and, when [truncate], drop everything
+   below it: the checkpoint now summarizes the discarded history. *)
+let checkpoint_node ?(truncate = true) n =
+  let ck_values = List.concat_map Camelot_server.Data_server.snapshot n.servers in
+  let ck_active = List.concat_map Camelot_server.Data_server.inflight n.servers in
+  let ck_families = Tranman.family_images n.tranman in
+  let ck_lsn =
+    Camelot_wal.Log.append n.log
+      (Record.Checkpoint { ck_values; ck_active; ck_families })
+  in
+  Camelot_wal.Log.force n.log;
+  (* a crash landing here leaves a durable checkpoint with the old
+     history still in place — recovery must cope with both sides *)
+  Camelot_chaos.point ~site:(Site.id n.site) p_truncate;
+  if truncate then Camelot_wal.Log.truncate n.log ~keep_from:ck_lsn
+
+(* Automatic checkpointer: every poll period, checkpoint-and-truncate
+   once the held window has grown past [every] records. Pinned to the
+   incarnation that spawned it, like the log daemons. *)
+let start_checkpointer ~flush_every_ms n ~every =
+  let site = n.site in
+  let inc = Site.incarnation site in
+  Site.spawn site ~name:"checkpointer" (fun () ->
+      let rec loop () =
+        Fiber.sleep flush_every_ms;
+        if Site.alive site && Site.incarnation site = inc then begin
+          let held =
+            Camelot_wal.Log.tail_lsn n.log - Camelot_wal.Log.base_lsn n.log + 1
+          in
+          if held >= every then checkpoint_node n;
+          loop ()
+        end
+      in
+      loop ())
+
 let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
-    ?(group_commit = false) ?flush_every_ms ?(loss = 0.0) ~sites () =
+    ?(group_commit = false) ?(logger = Fixed) ?checkpoint_every ?flush_every_ms
+    ?(loss = 0.0) ~sites () =
   if sites <= 0 then invalid_arg "Cluster.create: need at least one site";
+  (match checkpoint_every with
+  | Some n when n <= 0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
+  | _ -> ());
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let lan = Camelot_net.Lan.create ~loss engine ~model ~rng:(Rng.split rng) in
@@ -37,8 +93,16 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
   let nodes =
     Array.init sites (fun id ->
         let site = Site.create engine ~id ~model ~rng:(Rng.split rng) in
-        let log = Camelot_wal.Log.create ~group_commit site in
-        Camelot_wal.Log.start_flusher log ~every:flush_every_ms;
+        let log =
+          match logger with
+          | Fixed -> Camelot_wal.Log.create ~group_commit site
+          | Adaptive ->
+              (* the daemon subsumes group commit: forces park on the
+                 LSN heap and are batched by the pipeline *)
+              Camelot_wal.Log.create ~group_commit:true
+                ~daemon:Camelot_wal.Log.daemon_defaults site
+        in
+        start_log_daemons ~flush_every_ms log;
         let tranman =
           Tranman.create site ~lan ~log ~directory
             ~config:(State.copy_config base_config)
@@ -51,7 +115,14 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
         in
         { site; log; tranman; servers })
   in
-  { engine; lan; model; nodes; flush_every_ms }
+  let t =
+    { engine; lan; model; nodes; flush_every_ms; logger; checkpoint_every }
+  in
+  (match checkpoint_every with
+  | None -> ()
+  | Some every ->
+      Array.iter (fun n -> start_checkpointer ~flush_every_ms n ~every) t.nodes);
+  t
 
 let engine t = t.engine
 let lan t = t.lan
@@ -84,14 +155,7 @@ let op t ~origin tid ~site:site_id ?(index = 0) o =
       ~server_site:(node t site_id).site (fun () ->
         Camelot_server.Data_server.execute srv tid o)
 
-let checkpoint t i =
-  let n = node t i in
-  let ck_values = List.concat_map Camelot_server.Data_server.snapshot n.servers in
-  let ck_active = List.concat_map Camelot_server.Data_server.inflight n.servers in
-  ignore
-    (Camelot_wal.Log.append n.log (Record.Checkpoint { ck_values; ck_active })
-      : Camelot_wal.Log.lsn);
-  Camelot_wal.Log.force n.log
+let checkpoint ?truncate t i = checkpoint_node ?truncate (node t i)
 
 let crash_site t i =
   let n = node t i in
@@ -101,7 +165,10 @@ let crash_site t i =
 let restart_site t i =
   let n = node t i in
   Site.restart n.site;
-  Camelot_wal.Log.start_flusher n.log ~every:t.flush_every_ms;
+  start_log_daemons ~flush_every_ms:t.flush_every_ms n.log;
+  (match t.checkpoint_every with
+  | None -> ()
+  | Some every -> start_checkpointer ~flush_every_ms:t.flush_every_ms n ~every);
   Tranman.restart n.tranman;
   List.iter
     (fun srv ->

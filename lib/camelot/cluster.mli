@@ -26,6 +26,14 @@ type node = {
 
 type t
 
+(** How each site's log batches forces. [Fixed] is the legacy
+    leader/follower group commit with a fixed batch window — the
+    default, and what paper-reproduction runs pin so their output stays
+    bit-identical. [Adaptive] routes forces through the pipelined
+    logger daemon: LSN-ordered wakeups, a collect window sized from the
+    observed force arrival rate, and batched record serialization. *)
+type logger = Fixed | Adaptive
+
 (** [create ~sites ()] builds the cluster.
     @param seed deterministic seed (default 1)
     @param model cost model (default {!Camelot_mach.Cost_model.rt})
@@ -33,6 +41,11 @@ type t
     site gets its own mutable copy; see {!config}/{!each_config})
     @param servers_per_site data servers per site (default 1)
     @param group_commit enable log batching (default false)
+    @param logger force-batching machinery (default [Fixed]; with
+    [Adaptive] the logger daemon subsumes [group_commit])
+    @param checkpoint_every automatic checkpointer: checkpoint and
+    truncate a site's log whenever it holds at least this many records
+    (default: no automatic checkpoints)
     @param flush_every_ms background log flusher period (default:
     [max 50 (4 * log_force_ms)], so the flusher never competes with
     foreground forces)
@@ -43,6 +56,8 @@ val create :
   ?config:State.config ->
   ?servers_per_site:int ->
   ?group_commit:bool ->
+  ?logger:logger ->
+  ?checkpoint_every:int ->
   ?flush_every_ms:float ->
   ?loss:float ->
   sites:int ->
@@ -81,10 +96,11 @@ val op :
   int
 
 (** [checkpoint c site] forces a checkpoint record (committed value
-    snapshot + in-flight updates) into the site's log, so recovery
-    replays from there instead of from the beginning. Must run inside a
-    fiber (it forces the log). *)
-val checkpoint : t -> int -> unit
+    snapshot, in-flight updates, live family images) into the site's
+    log and — unless [~truncate:false] — drops the log below it, so
+    recovery scans O(window) records and the dropped history is
+    un-pinned. Must run inside a fiber (it forces the log). *)
+val checkpoint : ?truncate:bool -> t -> int -> unit
 
 (** {1 Failure injection} *)
 

@@ -18,6 +18,16 @@ type site_metrics = {
   log_forces : int;
   disk_writes : int;
   log_records : int;
+  log_truncations : int;  (** checkpoint truncations performed *)
+  log_base_lsn : int;  (** lowest LSN still held *)
+  log_batch_mean : float;  (** records made durable per non-empty write *)
+  log_batch_hist : (int * int) list;
+      (** batch-size histogram: (bucket upper bound, writes) *)
+  force_latency_mean_ms : float;  (** daemon-mode force round-trips *)
+  force_latency_max_ms : float;
+  durable_lag_mean : float;
+      (** records still volatile when a write lands — the spool the
+          pipelining keeps in flight *)
   cpu_busy_ms : float;
   cpu_utilization : float;  (** busy time / (elapsed x processors) *)
 }

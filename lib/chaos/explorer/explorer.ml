@@ -74,7 +74,9 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
   in
   let c =
     Camelot.Cluster.create ~seed:cluster_seed ~model:quiet_model
-      ~config:(chaos_config ()) ~sites:w.Workload.w_sites ()
+      ~config:(chaos_config ()) ~logger:w.Workload.w_logger
+      ?checkpoint_every:w.Workload.w_checkpoint_every
+      ~sites:w.Workload.w_sites ()
   in
   Camelot.Cluster.each_config c mutate_config;
   let sites = w.Workload.w_sites in
@@ -301,6 +303,7 @@ let shrink ?mutate_config ?run (s : Schedule.t) =
 let hit_cap = function
   | "net.datagram" -> 12
   | "wal.force.torn" -> 6
+  | "wal.daemon.batch" -> 4  (* fires on every daemon drain pass *)
   | _ -> 2
 
 let singles_for hits =

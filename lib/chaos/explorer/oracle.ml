@@ -57,7 +57,28 @@ let facts_of_log log =
   in
   Camelot_wal.Log.iter_durable log (fun lsn r ->
       match r with
-      | Record.Update _ | Record.Checkpoint _ | Record.Collecting _ -> ()
+      | Record.Update _ | Record.Collecting _ -> ()
+      | Record.Checkpoint { ck_families; _ } ->
+          (* family images summarize truncated records: seed the marks
+             they stand in for, at the checkpoint's own LSN (first-wins,
+             so real records below an untruncated checkpoint keep their
+             original positions) *)
+          List.iter
+            (fun (im : Record.family_image) ->
+              let f = get im.Record.fi_tid in
+              if im.Record.fi_prepared && f.prepare_at < 0 then f.prepare_at <- lsn;
+              (match im.Record.fi_quorum with
+              | Record.Fq_none -> ()
+              | Record.Fq_commit ->
+                  if f.replication_at < 0 then f.replication_at <- lsn
+              | Record.Fq_abort -> if f.refusal_at < 0 then f.refusal_at <- lsn);
+              (match im.Record.fi_outcome with
+              | Some Protocol.Committed ->
+                  if f.commit_at < 0 then f.commit_at <- lsn
+              | Some Protocol.Aborted -> if f.abort_at < 0 then f.abort_at <- lsn
+              | None -> ());
+              if im.Record.fi_ended && f.end_at < 0 then f.end_at <- lsn)
+            ck_families
       | Record.Prepare { p_tid; _ } ->
           let f = get p_tid in
           if f.prepare_at < 0 then f.prepare_at <- lsn
@@ -135,6 +156,25 @@ let check c txns =
   (* log discipline per site *)
   for i = 0 to sites - 1 do
     acc := check_log_discipline ~site:i facts.(i) !acc
+  done;
+  (* truncation integrity: a log whose base has advanced must begin
+     with the checkpoint that summarizes the dropped prefix *)
+  for i = 0 to sites - 1 do
+    let log = Camelot.Cluster.log c i in
+    let base = Camelot_wal.Log.base_lsn log in
+    if base > 0 then
+      if base > Camelot_wal.Log.durable_lsn log then
+        add (v "truncation" "site %d: base lsn %d beyond durable prefix" i base)
+      else
+        match Camelot_wal.Log.get log base with
+        | Record.Checkpoint _ -> ()
+        | r ->
+            add
+              (v "truncation"
+                 "site %d: truncated log starts at lsn %d with %s, not a \
+                  Checkpoint"
+                 i base
+                 (Format.asprintf "%a" Record.pp r))
   done;
   (* per-transaction value oracles *)
   List.iter

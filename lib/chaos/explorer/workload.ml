@@ -20,6 +20,8 @@ type t = {
   w_name : string;
   w_protocol : Protocol.commit_protocol;  (* dominant protocol, for coverage *)
   w_sites : int;
+  w_logger : Camelot.Cluster.logger;  (* force-batching machinery *)
+  w_checkpoint_every : int option;  (* automatic checkpoint+truncate *)
   w_start : Camelot.Cluster.t -> txn list;
 }
 
@@ -123,6 +125,30 @@ let nested c =
     };
   ]
 
+(* Two sequential two-site transactions with explicit checkpoints
+   between and after them, under the pipelined logger daemon: every
+   chaos injection lands around live truncation, exercising the
+   checkpoint-summarizes-history paths (images, base-aware recovery,
+   crash between checkpoint append and truncation). *)
+let ckpt_2pc c =
+  let t0 =
+    start_txn c ~label:"c0" ~protocol:Protocol.Two_phase ~origin:0
+      ~writes:[ (0, "ca", 91); (1, "cb", 92) ]
+  in
+  let node = Camelot.Cluster.node c 0 in
+  Camelot_mach.Site.spawn node.Camelot.Cluster.site ~name:"chaos-ckpt"
+    (fun () ->
+      (* checkpoint both sites mid-flight and again once quiesced; the
+         automatic checkpointer adds more as the log grows *)
+      Camelot_sim.Fiber.sleep 40.0;
+      Camelot.Cluster.checkpoint c 0;
+      Camelot.Cluster.checkpoint c 1);
+  let t1 =
+    start_txn c ~label:"c1" ~protocol:Protocol.Two_phase ~origin:1
+      ~writes:[ (1, "cc", 93); (0, "cd", 94) ]
+  in
+  [ t0; t1 ]
+
 (* The Table-3 style mix: a purely local transaction, a two-phase pair
    and a non-blocking triple, concurrently on three sites. *)
 let mixed c =
@@ -135,12 +161,21 @@ let mixed c =
       ~writes:[ (1, "mc", 81); (2, "md", 82); (0, "me", 83) ];
   ]
 
+let fixed = Camelot.Cluster.Fixed
+let adaptive = Camelot.Cluster.Adaptive
+
 let all =
   [
-    { w_name = "pair-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2; w_start = pair_2pc };
-    { w_name = "trio-nb"; w_protocol = Protocol.Nonblocking; w_sites = 3; w_start = trio_nb };
-    { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2; w_start = nested };
-    { w_name = "mixed"; w_protocol = Protocol.Nonblocking; w_sites = 3; w_start = mixed };
+    { w_name = "pair-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
+      w_logger = fixed; w_checkpoint_every = None; w_start = pair_2pc };
+    { w_name = "trio-nb"; w_protocol = Protocol.Nonblocking; w_sites = 3;
+      w_logger = fixed; w_checkpoint_every = None; w_start = trio_nb };
+    { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2;
+      w_logger = fixed; w_checkpoint_every = None; w_start = nested };
+    { w_name = "mixed"; w_protocol = Protocol.Nonblocking; w_sites = 3;
+      w_logger = fixed; w_checkpoint_every = None; w_start = mixed };
+    { w_name = "ckpt-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
+      w_logger = adaptive; w_checkpoint_every = Some 8; w_start = ckpt_2pc };
   ]
 
 let find name = List.find_opt (fun w -> w.w_name = name) all

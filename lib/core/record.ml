@@ -6,9 +6,32 @@ type update = {
   u_new : int;
 }
 
+(* mirror of State.quorum_side, duplicated so the record type does not
+   depend on the transaction manager's internals *)
+type quorum_flag = Fq_none | Fq_commit | Fq_abort
+
+(* Everything a checkpoint must remember about a live family so that a
+   recovery starting at the checkpoint (instead of LSN 0) reconstructs
+   the same descriptor the truncated records would have rebuilt. *)
+type family_image = {
+  fi_tid : Tid.t;
+  fi_protocol : Protocol.commit_protocol;
+  fi_prepared : bool;
+  fi_sites : Camelot_mach.Site.id list;
+  fi_update_sites : Camelot_mach.Site.id list;
+  fi_quorum : quorum_flag;
+  fi_outcome : Protocol.outcome option;
+  fi_servers : string list;
+  fi_ended : bool;
+}
+
 type t =
   | Update of update
-  | Checkpoint of { ck_values : (string * string * int) list; ck_active : update list }
+  | Checkpoint of {
+      ck_values : (string * string * int) list;
+      ck_active : update list;
+      ck_families : family_image list;
+    }
   | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
   | Prepare of {
       p_tid : Tid.t;
@@ -40,9 +63,10 @@ let tid = function
   | End e -> e.e_tid
 
 let pp ppf = function
-  | Checkpoint { ck_values; ck_active } ->
-      Format.fprintf ppf "Checkpoint(%d values, %d in-flight updates)"
+  | Checkpoint { ck_values; ck_active; ck_families } ->
+      Format.fprintf ppf "Checkpoint(%d values, %d in-flight updates, %d families)"
         (List.length ck_values) (List.length ck_active)
+        (List.length ck_families)
   | Collecting g ->
       Format.fprintf ppf "Collecting(%a sites=[%s])" Tid.pp g.g_tid
         (String.concat "," (List.map string_of_int g.g_sites))

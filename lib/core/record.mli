@@ -33,14 +33,40 @@ type update = {
   u_new : int;
 }
 
+(** Which quorum a checkpointed family had joined (mirror of
+    [State.quorum_side], kept separate so records do not depend on the
+    transaction manager's internals). *)
+type quorum_flag = Fq_none | Fq_commit | Fq_abort
+
+(** Protocol state of one family still live at checkpoint time, so a
+    recovery that starts its scan at the checkpoint — after the records
+    below it were truncated away — reconstructs the same descriptor the
+    dropped records would have rebuilt. *)
+type family_image = {
+  fi_tid : Tid.t;
+  fi_protocol : Protocol.commit_protocol;
+  fi_prepared : bool;
+  fi_sites : Camelot_mach.Site.id list;
+  fi_update_sites : Camelot_mach.Site.id list;
+  fi_quorum : quorum_flag;
+  fi_outcome : Protocol.outcome option;
+  fi_servers : string list;
+  fi_ended : bool;
+}
+
 type t =
   | Update of update
-  | Checkpoint of { ck_values : (string * string * int) list; ck_active : update list }
-      (** a forced snapshot: committed [(server, key, value)] triples
-          plus the updates of transactions still in flight at snapshot
-          time, so value recovery replays from here instead of from the
-          beginning of the log (and in-doubt transactions keep their
-          undo information across the checkpoint) *)
+  | Checkpoint of {
+      ck_values : (string * string * int) list;
+      ck_active : update list;
+      ck_families : family_image list;
+    }
+      (** a forced snapshot: committed [(server, key, value)] triples,
+          the updates of transactions still in flight at snapshot time
+          (so in-doubt transactions keep their undo information across
+          the checkpoint), and protocol images of the families not yet
+          forgotten — everything recovery needs when the log below the
+          checkpoint has been truncated *)
   | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
       (** presumed commit only: forced by the coordinator before any
           prepare message, so a recovering coordinator knows the

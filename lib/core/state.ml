@@ -124,6 +124,7 @@ type family = {
   mutable f_quorum_side : quorum_side;
   mutable f_outcome : Protocol.outcome option;
   mutable f_acks_pending : Site.id list;  (* coordinator: commit-acks awaited *)
+  mutable f_ended : bool;  (* an End record was written: fully forgotten *)
   mutable f_watchdog : bool;  (* a timeout watcher is running *)
   mutable f_orphan_watch : bool;  (* an orphan watcher is running *)
 }
@@ -204,6 +205,7 @@ let new_family st ~root ~role ~protocol =
       f_quorum_side = Q_none;
       f_outcome = None;
       f_acks_pending = [];
+      f_ended = false;
       f_watchdog = false;
       f_orphan_watch = false;
     }

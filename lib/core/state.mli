@@ -92,6 +92,7 @@ type family = {
   mutable f_quorum_side : quorum_side;
   mutable f_outcome : Protocol.outcome option;
   mutable f_acks_pending : Site.id list;
+  mutable f_ended : bool;  (** an End record was written: fully forgotten *)
   mutable f_watchdog : bool;
   mutable f_orphan_watch : bool;
 }

@@ -312,6 +312,106 @@ let status st tid = status_of_family st tid
    that were prepared but undecided re-enter the blocked state and
    resolve through the normal inquiry/takeover machinery. *)
 
+(* Protocol images for a checkpoint record: what a recovery starting at
+   the checkpoint needs instead of the truncated records below it.
+
+   The images are derived by replaying the log itself (seeded from the
+   previous checkpoint's images), NOT by snapshotting the volatile
+   family descriptors: protocol flags lag the log — a subordinate sets
+   [f_prepared] only after its prepare force returns, so mid-force the
+   record is already spooled while the flag is still false. A snapshot
+   taken in that window would let truncation drop a Prepare record that
+   nothing summarizes; replaying the records the checkpoint replaces
+   captures them by construction, and makes recovery from the truncated
+   log rebuild exactly what a full-log replay would have. *)
+let image_apply (im : Record.family_image) = function
+  | Record.Checkpoint _ -> im
+  | Record.Update { u_server; _ } ->
+      if List.mem u_server im.Record.fi_servers then im
+      else { im with Record.fi_servers = u_server :: im.Record.fi_servers }
+  | Record.Collecting { g_sites; _ } ->
+      { im with Record.fi_prepared = true; fi_sites = g_sites }
+  | Record.Prepare { p_protocol; p_sites; _ } ->
+      {
+        im with
+        Record.fi_prepared = true;
+        fi_protocol = p_protocol;
+        fi_sites = (if p_sites <> [] then p_sites else im.Record.fi_sites);
+      }
+  | Record.Replication { r_sites; r_update_sites; _ } ->
+      {
+        im with
+        Record.fi_quorum = Record.Fq_commit;
+        fi_sites = r_sites;
+        fi_update_sites = r_update_sites;
+      }
+  | Record.Commit { c_sites; _ } ->
+      { im with Record.fi_outcome = Some Protocol.Committed; fi_update_sites = c_sites }
+  | Record.Abort _ -> { im with Record.fi_outcome = Some Protocol.Aborted }
+  | Record.Refusal _ -> { im with Record.fi_quorum = Record.Fq_abort }
+  | Record.End _ -> { im with Record.fi_ended = true }
+
+let blank_image root =
+  {
+    Record.fi_tid = root;
+    fi_protocol = Protocol.Two_phase;
+    fi_prepared = false;
+    fi_sites = [];
+    fi_update_sites = [];
+    fi_quorum = Record.Fq_none;
+    fi_outcome = None;
+    fi_servers = [];
+    fi_ended = false;
+  }
+
+let family_images st =
+  let log = st.log in
+  let base = Camelot_wal.Log.base_lsn log in
+  let upto = Camelot_wal.Log.tail_lsn log in
+  (* newest checkpoint at or above base (after a truncation it sits
+     exactly at base, so this scan stays O(window)) *)
+  let seed = ref None in
+  let lsn = ref upto in
+  while !seed = None && !lsn >= base do
+    (match Camelot_wal.Log.get log !lsn with
+    | Record.Checkpoint { ck_families; ck_active; _ } ->
+        seed := Some (!lsn, ck_families, ck_active)
+    | _ -> ());
+    decr lsn
+  done;
+  let tbl : (int, Record.family_image) Hashtbl.t = Hashtbl.create 16 in
+  let apply r =
+    match r with
+    | Record.Checkpoint _ -> ()
+    | r ->
+        let root = Tid.top (Record.tid r) in
+        let k = Tid.key root in
+        let im =
+          match Hashtbl.find_opt tbl k with
+          | Some im -> im
+          | None -> blank_image root
+        in
+        Hashtbl.replace tbl k (image_apply im r)
+  in
+  let replay_from =
+    match !seed with
+    | None -> base
+    | Some (ck_lsn, images, ck_active) ->
+        List.iter
+          (fun (im : Record.family_image) ->
+            Hashtbl.replace tbl (Tid.key im.Record.fi_tid) im)
+          images;
+        (* the seeding checkpoint's in-flight updates carry server
+           associations, like live update records *)
+        List.iter (fun (u : Record.update) -> apply (Record.Update u)) ck_active;
+        ck_lsn + 1
+  in
+  for lsn = replay_from to upto do
+    apply (Camelot_wal.Log.get log lsn)
+  done;
+  let images = Hashtbl.fold (fun _ im acc -> im :: acc) tbl [] in
+  List.sort (fun a b -> compare a.Record.fi_tid b.Record.fi_tid) images
+
 let recover st =
   (* last-writer-wins reconstruction of per-family protocol state *)
   let replay (fam : family) = function
@@ -340,14 +440,60 @@ let recover st =
         fam.f_update_sites <- c_sites
     | Record.Abort _ -> fam.f_outcome <- Some Protocol.Aborted
     | Record.Refusal _ -> fam.f_quorum_side <- Q_abort
-    | Record.End _ -> fam.f_acks_pending <- []
+    | Record.End _ ->
+        fam.f_acks_pending <- [];
+        fam.f_ended <- true
   in
+  (* Find the newest durable checkpoint with one backward scan from the
+     tail; everything below it is summarized by its family images (and
+     may already have been truncated away). *)
+  let base = Camelot_wal.Log.base_lsn st.log in
+  let ck = ref None in
+  let lsn = ref (Camelot_wal.Log.durable_lsn st.log) in
+  while !ck = None && !lsn >= base do
+    (match Camelot_wal.Log.get st.log !lsn with
+    | Record.Checkpoint { ck_families; _ } -> ck := Some (!lsn, ck_families)
+    | _ -> ());
+    decr lsn
+  done;
+  let scan_from = match !ck with Some (l, _) -> l | None -> base in
   let ends = Hashtbl.create 16 in
-  Camelot_wal.Log.iter_durable st.log (fun _ r ->
+  (* Seed descriptors from the checkpoint's family images: the state the
+     truncated records below the checkpoint would have rebuilt. *)
+  (match !ck with
+  | None -> ()
+  | Some (_, images) ->
+      List.iter
+        (fun (im : Record.family_image) ->
+          let fam = find_or_join_family st im.Record.fi_tid in
+          fam.f_protocol <- im.Record.fi_protocol;
+          if im.Record.fi_prepared then fam.f_prepared <- true;
+          if im.Record.fi_sites <> [] then fam.f_sites <- im.Record.fi_sites;
+          if im.Record.fi_update_sites <> [] then
+            fam.f_update_sites <- im.Record.fi_update_sites;
+          (match im.Record.fi_quorum with
+          | Record.Fq_none -> ()
+          | Record.Fq_commit -> fam.f_quorum_side <- Q_commit
+          | Record.Fq_abort -> fam.f_quorum_side <- Q_abort);
+          (match im.Record.fi_outcome with
+          | Some o -> fam.f_outcome <- Some o
+          | None -> ());
+          List.iter
+            (fun s ->
+              if not (List.mem s fam.f_servers) then
+                fam.f_servers <- s :: fam.f_servers)
+            im.Record.fi_servers;
+          if im.Record.fi_ended then begin
+            fam.f_acks_pending <- [];
+            fam.f_ended <- true;
+            Hashtbl.replace ends (Tid.family_key im.Record.fi_tid) ()
+          end)
+        images);
+  Camelot_wal.Log.iter_durable_from st.log ~from:scan_from (fun _ r ->
       match r with
       | Record.End { e_tid } -> Hashtbl.replace ends (Tid.family_key e_tid) ()
       | _ -> ());
-  Camelot_wal.Log.iter_durable st.log (fun _ r ->
+  Camelot_wal.Log.iter_durable_from st.log ~from:scan_from (fun _ r ->
       match r with
       | Record.Checkpoint { ck_active; _ } ->
           (* in-flight updates snapshotted at checkpoint time carry the

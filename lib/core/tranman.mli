@@ -102,9 +102,19 @@ val note_sites : t -> Tid.t -> Camelot_mach.Site.id list -> unit
     exposed for tests). *)
 val status : t -> Tid.t -> Protocol.status
 
+(** Protocol images of the families not yet forgotten, sorted by root
+    TID — what a checkpoint record must carry so that a recovery
+    starting its scan at the checkpoint (after the log below it was
+    truncated) rebuilds the same descriptors the dropped records would
+    have. *)
+val family_images : t -> Record.family_image list
+
 (** Rebuild protocol state from the durable log after a restart:
     prepared-but-undecided transactions re-enter the blocked state
     (2PC: inquiry loop; non-blocking: takeover), coordinator-side
     commits without an [End] record resume notification. Servers must
-    be re-registered first; returns the transactions still in doubt. *)
+    be re-registered first; returns the transactions still in doubt.
+    The scan is index-aware: one backward pass finds the newest durable
+    checkpoint, its family images seed the descriptors, and the forward
+    replay starts there instead of at LSN 0. *)
 val recover : t -> Tid.t list

@@ -63,6 +63,7 @@ let start_notify ?(outcome = Protocol.Committed) st fam ~update_subs =
       loop ();
       Camelot_chaos.point ~site:(me st) p_acks_in;
       ignore (log_append st (Record.End { e_tid = tid }) : int);
+      fam.f_ended <- true;
       unregister_waiter st tid;
       tracef st "2pc" "%a: all %a-acks in; forgotten" Tid.pp tid
         Protocol.pp_outcome outcome)
@@ -85,7 +86,10 @@ let abort_distributed st fam ~subs =
   | Presume_commit ->
       ignore (log_append_force st (Record.Abort { a_tid = tid }) : int);
       resolve_family st fam Protocol.Aborted;
-      if subs = [] then ignore (log_append st (Record.End { e_tid = tid }) : int)
+      if subs = [] then begin
+        ignore (log_append st (Record.End { e_tid = tid }) : int);
+        fam.f_ended <- true
+      end
       else start_notify ~outcome:Protocol.Aborted st fam ~update_subs:subs);
   Camelot_chaos.point ~site:(me st) p_abort_logged;
   abort_local st fam;
@@ -229,7 +233,8 @@ let coordinate st fam =
             | Presume_abort ->
                 if update_subs = [] then begin
                   unregister_waiter st tid;
-                  ignore (log_append st (Record.End { e_tid = tid }) : int)
+                  ignore (log_append st (Record.End { e_tid = tid }) : int);
+                  fam.f_ended <- true
                 end
                 else start_notify st fam ~update_subs
             | Presume_commit ->
@@ -240,7 +245,8 @@ let coordinate st fam =
                 fan_out st ~dsts:update_subs
                   (Protocol.Outcome
                      { m_tid = tid; m_from = me st; m_outcome = Protocol.Committed });
-                ignore (log_append st (Record.End { e_tid = tid }) : int));
+                ignore (log_append st (Record.End { e_tid = tid }) : int);
+                fam.f_ended <- true);
             Site.spawn st.site ~name:"drop-locks" (fun () ->
                 drop_local_locks st fam);
             Protocol.Committed

@@ -24,7 +24,6 @@ type result = {
   disk_writes_per_commit : float;
 }
 
-let sites = 2
 let keys_per_site = 8
 let think_mean_ms = 5.0
 
@@ -33,11 +32,12 @@ let think_mean_ms = 5.0
 let p_read = 0.4
 let p_local_update = 0.9
 
-let run_one ?(seed = 11) ~workers_per_site ~group_commit ~horizon_ms () =
+let run_one ?(seed = 11) ?(sites = 2) ?(logger = Camelot.Cluster.Fixed)
+    ~workers_per_site ~group_commit ~horizon_ms () =
   let config = State.default_config ~threads:workers_per_site () in
   let c =
     Camelot.Cluster.create ~seed ~model:Camelot_mach.Cost_model.vax ~config
-      ~group_commit ~sites ()
+      ~group_commit ~logger ~sites ()
   in
   for site = 0 to sites - 1 do
     let node = Camelot.Cluster.node c site in
@@ -109,7 +109,12 @@ let collect ?(horizon_ms = 20_000.0) () =
   List.map
     (fun workers_per_site ->
       let off = run_one ~workers_per_site ~group_commit:false ~horizon_ms () in
-      let on_ = run_one ~workers_per_site ~group_commit:true ~horizon_ms () in
+      (* the gc-on column tracks the shipping batched log, i.e. the
+         pipelined logger daemon *)
+      let on_ =
+        run_one ~logger:Camelot.Cluster.Adaptive ~workers_per_site
+          ~group_commit:true ~horizon_ms ()
+      in
       (off, on_))
     worker_range
 

@@ -16,9 +16,14 @@ type result = {
   disk_writes_per_commit : float;
 }
 
-(** One cluster run at one operating point. *)
+(** One cluster run at one operating point. [sites] (default 2) sizes
+    the cluster; [logger] (default {!Camelot.Cluster.Fixed}) selects
+    the log write-out policy — pass {!Camelot.Cluster.Adaptive} for
+    the pipelined logger daemon. *)
 val run_one :
   ?seed:int ->
+  ?sites:int ->
+  ?logger:Camelot.Cluster.logger ->
   workers_per_site:int ->
   group_commit:bool ->
   horizon_ms:float ->
@@ -29,7 +34,8 @@ val run_one :
 val worker_range : int list
 
 (** Sweep {!worker_range}, each point with group commit off and on
-    (default horizon 20 s of virtual time). *)
+    (default horizon 20 s of virtual time). The gc-on column uses the
+    adaptive logger daemon — the shipping batched-log configuration. *)
 val collect : ?horizon_ms:float -> unit -> (result * result) list
 
 (** [run ()] sweeps, prints the table and the crossover note, and

@@ -28,6 +28,8 @@ type t = {
   tranman_cpu_ms : float;
   server_cpu_ms : float;
   log_spool_cpu_ms : float;
+  log_daemon_pass_cpu_ms : float;
+  log_spool_batch_cpu_ms : float;
   ipc_cpu_fraction : float;
   rpc_jitter_ms : float;
 }
@@ -70,6 +72,11 @@ let rt =
     tranman_cpu_ms = 0.7;
     server_cpu_ms = 0.5;
     log_spool_cpu_ms = 1.0;
+    (* logger-daemon batched serialization: one buffer-setup pass plus a
+       marginal per-record copy, amortizing the per-record IPC + copy
+       overhead the per-update spool charge models *)
+    log_daemon_pass_cpu_ms = 0.3;
+    log_spool_batch_cpu_ms = 0.25;
     ipc_cpu_fraction = 0.85;
     rpc_jitter_ms = 0.8;
   }
@@ -105,6 +112,12 @@ let vax =
     tranman_cpu_ms = 4.0;
     server_cpu_ms = 1.0;
     log_spool_cpu_ms = 55.0;
+    (* the 55 ms spool charge is dominated by per-record disk-manager
+       IPC and value copies done one record at a time; a daemon that
+       serializes a whole batch in one pass pays the setup once and a
+       much smaller marginal copy per record *)
+    log_daemon_pass_cpu_ms = 6.0;
+    log_spool_batch_cpu_ms = 9.0;
     ipc_cpu_fraction = 0.6;
     rpc_jitter_ms = 1.6;
   }

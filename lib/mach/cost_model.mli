@@ -50,6 +50,14 @@ type t = {
       (** disk-manager CPU per spooled update record (old/new value
           copies through the logger; dominates update throughput on the
           VAX) *)
+  log_daemon_pass_cpu_ms : float;
+      (** logger-daemon batched serialization: fixed CPU per
+          drain-and-serialize pass, paid once however many records the
+          pass covers *)
+  log_spool_batch_cpu_ms : float;
+      (** logger-daemon batched serialization: marginal CPU per record
+          in a pass (replaces [log_spool_cpu_ms] when the daemon defers
+          spool work) *)
   ipc_cpu_fraction : float;
       (** share of an IPC's latency spent on the CPU (the rest is
           scheduling wait during which the processor is free) *)

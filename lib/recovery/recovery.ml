@@ -10,7 +10,6 @@ let p_redo_done = Camelot_chaos.register "recovery.redo.done"
 
 let run ~tranman ~log ~servers =
   let site_id = Camelot_mach.Site.id (Tranman.site tranman) in
-  let records = Camelot_wal.Log.durable_records log in
   let in_doubt = Tranman.recover tranman in
   Camelot_chaos.point ~site:site_id p_scan_done;
   let verdict_of tid =
@@ -21,21 +20,26 @@ let run ~tranman ~log ~servers =
     | Protocol.St_unknown ->
         Loser
   in
-  (* value replay starts from the last durable checkpoint: restore its
-     committed snapshot, prepend its in-flight updates, and replay only
-     the records written after it *)
-  let checkpoint =
-    List.fold_left
-      (fun acc (lsn, r) ->
-        match r with
-        | Record.Checkpoint { ck_values; ck_active } -> Some (lsn, ck_values, ck_active)
-        | _ -> acc)
-      None records
-  in
-  let base_lsn, pre_updates =
-    match checkpoint with
-    | None -> (-1, [])
-    | Some (lsn, ck_values, ck_active) ->
+  (* Value replay starts from the last durable checkpoint. One backward
+     scan from the tail finds it and collects the updates above it in
+     one pass — O(records since checkpoint), not O(history), and after
+     truncation the log holds nothing older anyway. *)
+  let checkpoint = ref None in
+  let updates_after = ref [] in
+  let lsn = ref (Camelot_wal.Log.durable_lsn log) in
+  let base = Camelot_wal.Log.base_lsn log in
+  while !checkpoint = None && !lsn >= base do
+    (match Camelot_wal.Log.get log !lsn with
+    | Record.Checkpoint { ck_values; ck_active; _ } ->
+        checkpoint := Some (ck_values, ck_active)
+    | Record.Update u -> updates_after := u :: !updates_after
+    | _ -> ());
+    decr lsn
+  done;
+  let pre_updates =
+    match !checkpoint with
+    | None -> []
+    | Some (ck_values, ck_active) ->
         List.iter
           (fun (server, key, value) ->
             List.iter
@@ -44,17 +48,9 @@ let run ~tranman ~log ~servers =
                   Camelot_server.Data_server.restore srv ~key ~value)
               servers)
           ck_values;
-        (lsn, ck_active)
+        ck_active
   in
-  let updates =
-    pre_updates
-    @ List.filter_map
-        (fun (lsn, r) ->
-          match r with
-          | Record.Update u when lsn > base_lsn -> Some u
-          | Record.Update _ | _ -> None)
-        records
-  in
+  let updates = pre_updates @ !updates_after in
   (* forward pass: rebuild values; in-doubt updates also regain locks *)
   List.iter
     (fun (u : Record.update) ->

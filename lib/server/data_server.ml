@@ -54,8 +54,11 @@ let veto_next t tid = (family_state t tid).fs_veto <- tid :: (family_state t tid
 let spool_update t tid ~key ~old_v ~new_v =
   t.updates_spooled <- t.updates_spooled + 1;
   (* the server reports old and new values to the disk manager, which
-     copies them into the log buffer — real CPU on the site *)
-  Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
+     copies them into the log buffer — real CPU on the site, unless the
+     logger daemon serializes whole batches, in which case the (much
+     cheaper) copy is charged by its drain pass instead *)
+  if not (Camelot_wal.Log.defers_spool_cpu t.log) then
+    Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
   ignore
     (Camelot_wal.Log.append t.log
        (Record.Update

@@ -14,25 +14,60 @@
       force pending at the moment the write starts (plus, optionally, a
       batching window timer as in the IMS/Fast-Path and TMF designs the
       paper cites);
+    - with a {b logger daemon} ([~daemon] + {!start_daemon}), forcing
+      fibers enqueue their LSN target and park on an LSN-ordered waiter
+      heap; the daemon drains all pending targets into one platter
+      write, wakes exactly the satisfied waiters (no broadcast), and
+      lets the next batch spool and serialize while the write's I/O is
+      in flight (double-buffered pipelining);
     - a site {b crash} discards the volatile tail; the durable prefix
-      survives and is what recovery reads.
+      survives and is what recovery reads;
+    - {b truncation} drops the durable prefix below a checkpoint so
+      recovery scans and memory stay O(window), not O(history).
 
     The record payload is a type parameter: the transaction manager
     defines its own record type ([camelot_core.Record]). *)
 
 type 'a t
 
-(** Log sequence number: index of a record, starting at 0. *)
+(** Log sequence number: index of a record, starting at 0. LSNs are
+    stable across {!truncate}: truncation advances {!base_lsn} without
+    renumbering the surviving records. *)
 type lsn = int
+
+(** Logger-daemon policy knobs; see {!start_daemon}. *)
+type daemon_config = {
+  adaptive : bool;
+      (** size the collect window from the observed force arrival rate
+          (EWMA of inter-arrival gaps) instead of a fixed sleep *)
+  max_window_ms : float;
+      (** upper bound on the adaptive window; [<= 0] means derive it as
+          [log_force_ms / 4] *)
+  batch_spool : bool;
+      (** defer per-record spool CPU ([log_spool_cpu_ms]) from the
+          foreground appender to the daemon's batched serialization
+          pass ([log_daemon_pass_cpu_ms] +
+          [log_spool_batch_cpu_ms] x records) *)
+}
+
+(** [{ adaptive = true; max_window_ms = 0.0; batch_spool = true }]. *)
+val daemon_defaults : daemon_config
 
 (** [create site] builds the site's log using its cost model's
     [log_force_ms].
     @param group_commit batch concurrent forces (default false)
     @param batch_window_ms with group commit, how long a leader waits
     before starting the disk write, to accumulate more records
-    (default 0). *)
+    (default 0)
+    @param daemon route forces through the logger daemon instead of the
+    leader/follower path; requires a later {!start_daemon} (and again
+    after each site restart) for forces to complete. *)
 val create :
-  ?group_commit:bool -> ?batch_window_ms:float -> Camelot_mach.Site.t -> 'a t
+  ?group_commit:bool ->
+  ?batch_window_ms:float ->
+  ?daemon:daemon_config ->
+  Camelot_mach.Site.t ->
+  'a t
 
 (** Spool a record into the volatile tail; returns its LSN. *)
 val append : 'a t -> 'a -> lsn
@@ -44,33 +79,56 @@ val force : 'a t -> unit
 (** [append] then [force]. Returns the record's LSN. *)
 val append_force : 'a t -> 'a -> lsn
 
-(** Highest spooled LSN (-1 if none). *)
+(** Highest spooled LSN ([base_lsn - 1] if none). *)
 val tail_lsn : 'a t -> lsn
 
 (** Highest durable LSN (-1 if none). *)
 val durable_lsn : 'a t -> lsn
 
-(** Durable records, oldest first, with their LSNs: what recovery sees
-    after a crash. *)
+(** Lowest LSN still held (0 until the first {!truncate}). *)
+val base_lsn : 'a t -> lsn
+
+(** Random access to a held record.
+    @raise Invalid_argument if [lsn < base_lsn] or [lsn > tail_lsn]. *)
+val get : 'a t -> lsn -> 'a
+
+(** Durable records at or above {!base_lsn}, oldest first, with their
+    LSNs: what recovery sees after a crash. *)
 val durable_records : 'a t -> (lsn * 'a) list
 
-(** All records including the volatile tail (for tests). *)
+(** All held records including the volatile tail (for tests). *)
 val all_records : 'a t -> (lsn * 'a) list
 
-(** [iter_durable t f] applies [f lsn record] to each durable record,
-    oldest first, without materialising a list — the allocation-free
-    way to scan a long log. *)
+(** [iter_durable t f] applies [f lsn record] to each durable record
+    from {!base_lsn} up, oldest first, without materialising a list —
+    the allocation-free way to scan a long log. *)
 val iter_durable : 'a t -> (lsn -> 'a -> unit) -> unit
 
-(** [fold_durable t ~init ~f] folds over the durable prefix, oldest
-    first, without materialising a list. *)
+(** [iter_durable_from t ~from f] is {!iter_durable} starting at LSN
+    [max from (base_lsn t)] — the index-aware scan recovery uses to
+    start at the last checkpoint instead of LSN 0. *)
+val iter_durable_from : 'a t -> from:lsn -> (lsn -> 'a -> unit) -> unit
+
+(** [fold_durable t ~init ~f] folds over the held durable prefix,
+    oldest first, without materialising a list. *)
 val fold_durable : 'a t -> init:'acc -> f:('acc -> lsn -> 'a -> 'acc) -> 'acc
 
-(** Number of spooled records, including the volatile tail
-    ([tail_lsn t + 1]). *)
+(** Number of held records, including the volatile tail. *)
 val records_spooled : 'a t -> int
 
-(** Simulate the crash of the site: the volatile tail is lost. Called
+(** [truncate t ~keep_from] drops (and un-pins) every record below LSN
+    [keep_from] — typically the LSN of a just-forced checkpoint record.
+    Surviving records keep their LSNs; {!base_lsn} becomes [keep_from].
+    No-op if [keep_from <= base_lsn t].
+    @raise Invalid_argument if [keep_from > durable_lsn t + 1]: the
+    volatile tail cannot be the only copy of history. *)
+val truncate : 'a t -> keep_from:lsn -> unit
+
+(** Checkpoint truncations performed. *)
+val truncations : 'a t -> int
+
+(** Simulate the crash of the site: the volatile tail is lost, parked
+    waiters die with their fibers, daemon hand-off state resets. Called
     by the cluster's crash hook. *)
 val crash : 'a t -> unit
 
@@ -86,13 +144,56 @@ val group_commit : 'a t -> bool
 (** Enable/disable batching at runtime (the Figure 4 experiment knob). *)
 val set_group_commit : 'a t -> bool -> unit
 
+(** Whether this log runs in daemon mode. *)
+val daemon_mode : 'a t -> bool
+
+(** Whether the foreground appender should skip the per-record spool
+    CPU charge because this log's daemon serializes in batches. *)
+val defers_spool_cpu : 'a t -> bool
+
+(** Logger batching/latency statistics (daemon and legacy writes). *)
+type batch_stats = {
+  bs_writes : int;  (** physical writes that carried >= 1 record *)
+  bs_records : int;  (** records covered by those writes *)
+  bs_hist : (int * int) list;
+      (** batch-size histogram: (bucket upper bound, writes); log2
+          buckets 1, 2, 4, ... 64, then [max_int] for >= 128 *)
+  bs_force_lat_n : int;
+  bs_force_lat_mean_ms : float;  (** mean daemon-mode force latency *)
+  bs_force_lat_max_ms : float;
+  bs_lag_mean : float;
+      (** mean records still volatile at the moment a write lands — the
+          durable lag the pipelining hides *)
+  bs_lag_max : int;
+}
+
+val batch_stats : 'a t -> batch_stats
+
 (** Block the calling fiber until the given LSN is durable (via anyone
     else's force or the background flusher). This is how a subordinate
     running the §3.2 optimized protocol learns its lazily-written
-    commit record has hit the disk and the commit-ack may go out. *)
+    commit record has hit the disk and the commit-ack may go out. In
+    daemon mode the fiber parks on the LSN heap without triggering a
+    write: a lazy record rides along with the next force or the
+    periodic flush. *)
 val wait_durable : 'a t -> lsn -> unit
 
 (** Spawn the disk manager's background flusher in the site's fiber
     group: every [every] ms, if the volatile tail is non-empty and the
-    disk idle, write it out. Call again after a site restart. *)
+    disk idle, write it out. Call again after a site restart. The
+    flusher is pinned to the incarnation that spawned it and exits once
+    the site crashes or restarts. *)
 val start_flusher : 'a t -> every:float -> unit
+
+(** Spawn the logger daemon (controller + writer fibers) in the site's
+    fiber group. The controller drains pending force targets — lingering
+    up to the adaptive window when the platter is idle so companions
+    arriving at the observed rate share the write — charges one batched
+    serialization pass, and hands the batch to the writer; the writer
+    issues one platter write per hand-off while the next batch spools
+    (double buffering). Every [flush_every] ms of idleness the unforced
+    tail is flushed, like {!start_flusher}. Both fibers are pinned to
+    the incarnation that spawned them. Call again after a site restart.
+    @raise Invalid_argument if the log was not created with [~daemon]
+    or [flush_every <= 0]. *)
+val start_daemon : 'a t -> flush_every:float -> unit

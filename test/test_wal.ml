@@ -276,6 +276,193 @@ let test_throughput_cap_without_batching () =
     true
     (!committed2 > 5 * unbatched)
 
+(* --- logger daemon ------------------------------------------------ *)
+
+(* rt model: one batched serialization pass costs 0.3 ms plus 0.25 ms
+   per record, and a platter write 15 ms — the constants behind the
+   exact wake times asserted below. *)
+let make_daemon_log ?(flush_every = 1000.0) () =
+  let eng = Engine.create () in
+  let site = Site.create eng ~id:0 ~model:Cost_model.rt ~rng:(Rng.create ~seed:3) in
+  let log = Log.create ~group_commit:true ~daemon:Log.daemon_defaults site in
+  Log.start_daemon log ~flush_every;
+  (eng, site, log)
+
+let test_daemon_single_force () =
+  let eng, _, log = make_daemon_log () in
+  let woke = ref nan in
+  Fiber.spawn eng (fun () ->
+      ignore (Log.append_force log "a" : int);
+      woke := Fiber.now ());
+  Engine.run ~until:100.0 eng;
+  check_float "serialization pass + one write" 15.55 !woke;
+  Alcotest.(check int) "one disk write" 1 (Log.disk_writes log)
+
+let test_daemon_lsn_ordered_wakeup () =
+  (* A forces lsn 0; B appends lsn 1 mid-write and forces. The write
+     covering lsn 0 must release exactly A — B's target is not durable
+     yet and waking it would return from force before its record is on
+     the platter *)
+  let eng, _, log = make_daemon_log () in
+  let a_done = ref nan and b_done = ref nan in
+  Fiber.spawn eng (fun () ->
+      ignore (Log.append_force log "a" : int);
+      a_done := Fiber.now ());
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 5.0;
+      ignore (Log.append_force log "b" : int);
+      b_done := Fiber.now ());
+  Engine.run ~until:200.0 eng;
+  check_float "A released by the first write" 15.55 !a_done;
+  check_float "B released only once lsn 1 is durable" 30.55 !b_done;
+  Alcotest.(check int) "two disk writes" 2 (Log.disk_writes log)
+
+let test_daemon_simultaneous_forces () =
+  (* five forces in the same timestep: one serialization pass, one
+     shared write, no lost wakeup *)
+  let eng, _, log = make_daemon_log () in
+  let finish = ref [] in
+  for i = 1 to 5 do
+    Fiber.spawn eng (fun () ->
+        ignore (Log.append_force log (Printf.sprintf "r%d" i) : int);
+        finish := Fiber.now () :: !finish)
+  done;
+  Engine.run ~until:100.0 eng;
+  Alcotest.(check int) "every force returned" 5 (List.length !finish);
+  List.iter (fun at -> check_float "one shared write" 16.55 at) !finish;
+  Alcotest.(check int) "one disk write" 1 (Log.disk_writes log);
+  Alcotest.(check int) "all five durable" 4 (Log.durable_lsn log)
+
+let test_daemon_pipelines_next_batch () =
+  (* while the write for lsn 0 is in flight, forces for lsns 1 and 2
+     spool and serialize; the second write starts the instant the
+     platter frees and covers both *)
+  let eng, _, log = make_daemon_log () in
+  let done_at = ref [] in
+  let force_at delay record =
+    Fiber.spawn eng (fun () ->
+        Fiber.sleep delay;
+        ignore (Log.append_force log record : int);
+        done_at := (record, Fiber.now ()) :: !done_at)
+  in
+  force_at 0.0 "a";
+  force_at 3.0 "b";
+  force_at 6.0 "c";
+  Engine.run ~until:200.0 eng;
+  Alcotest.(check (list (pair string (float 1e-6))))
+    "b and c share the pipelined second write"
+    [ ("a", 15.55); ("b", 30.55); ("c", 30.55) ]
+    (List.sort compare !done_at);
+  Alcotest.(check int) "two disk writes" 2 (Log.disk_writes log)
+
+let test_daemon_wait_durable_rides_flush () =
+  (* an unforced record must not trigger a write of its own: the waiter
+     parks without raising the force target and rides the periodic
+     flush *)
+  let eng, _, log = make_daemon_log ~flush_every:20.0 () in
+  let woke = ref nan in
+  Fiber.spawn eng (fun () ->
+      let lsn = Log.append log "lazy" in
+      Log.wait_durable log lsn;
+      woke := Fiber.now ());
+  Engine.run ~until:200.0 eng;
+  check_float "carried by the periodic flush" 35.55 !woke;
+  Alcotest.(check int) "no foreground force" 0 (Log.forces log)
+
+let test_daemon_stops_after_crash () =
+  let eng, site, log = make_daemon_log () in
+  Fiber.spawn eng (fun () -> ignore (Log.append_force log "a" : int));
+  Engine.schedule eng ~delay:20.0 (fun () ->
+      Site.crash site;
+      Log.crash log);
+  Engine.run eng;
+  (* both daemon fibers must have exited with the incarnation: an
+     unbounded run terminates with nothing pending *)
+  Alcotest.(check int) "no event left pending" 0 (Engine.pending eng);
+  Alcotest.(check int) "single pre-crash write" 1 (Log.disk_writes log)
+
+let test_flusher_stops_after_crash () =
+  (* regression: the crash lands in the same timestep the flusher's
+     timer fires, so the timer escapes the fiber-group kill and the
+     stale flusher runs one more iteration — against a site that has
+     already restarted into a new incarnation. It must recognize the
+     stale incarnation and exit instead of flushing the new log *)
+  let eng, site, log = make_log () in
+  Log.start_flusher log ~every:20.0;
+  Engine.schedule eng ~delay:20.0 (fun () ->
+      Site.crash site;
+      Log.crash log;
+      Site.restart site);
+  Engine.schedule eng ~delay:25.0 (fun () ->
+      ignore (Log.append log "post-restart" : int));
+  Engine.run ~until:200.0 eng;
+  Alcotest.(check int) "stale flusher never wrote" 0 (Log.disk_writes log);
+  Alcotest.(check int) "record still volatile" (-1) (Log.durable_lsn log)
+
+(* --- truncation --------------------------------------------------- *)
+
+let test_truncate_keeps_lsns_stable () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      for i = 0 to 9 do
+        ignore (Log.append log (Printf.sprintf "r%d" i) : int)
+      done;
+      Log.force log);
+  Log.truncate log ~keep_from:5;
+  Alcotest.(check int) "base advanced" 5 (Log.base_lsn log);
+  Alcotest.(check int) "tail unchanged" 9 (Log.tail_lsn log);
+  Alcotest.(check int) "one truncation" 1 (Log.truncations log);
+  Alcotest.(check string) "surviving lsn still addressable" "r7" (Log.get log 7);
+  Alcotest.(check (list (pair int string)))
+    "durable prefix starts at the new base"
+    [ (5, "r5"); (6, "r6"); (7, "r7"); (8, "r8"); (9, "r9") ]
+    (Log.durable_records log);
+  Alcotest.check_raises "below base is gone" (Invalid_argument "Log.get: bad lsn")
+    (fun () -> ignore (Log.get log 4 : string));
+  Alcotest.(check int) "numbering continues" 10 (Log.append log "r10")
+
+let test_truncate_past_durable_rejected () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      ignore (Log.append_force log "a" : int);
+      ignore (Log.append log "volatile" : int));
+  Alcotest.check_raises "volatile tail cannot be dropped"
+    (Invalid_argument "Log.truncate: cannot truncate past the durable prefix")
+    (fun () -> Log.truncate log ~keep_from:2)
+
+let test_truncate_unpins_dropped_records () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      for i = 0 to 100 do
+        ignore (Log.append log (String.make 4096 (Char.chr (65 + (i mod 26)))) : int)
+      done;
+      Log.force log);
+  let before = Obj.reachable_words (Obj.repr log) in
+  Log.truncate log ~keep_from:100;
+  let after = Obj.reachable_words (Obj.repr log) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped records unpinned (%d -> %d words)" before after)
+    true
+    (after * 10 < before)
+
+let test_iter_durable_from () =
+  let eng, _, log = make_log () in
+  Fiber.run eng (fun () ->
+      for i = 0 to 9 do
+        ignore (Log.append log i : int)
+      done;
+      Log.force log);
+  let seen = ref [] in
+  Log.iter_durable_from log ~from:7 (fun lsn r -> seen := (lsn, r) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "starts at from" [ (7, 7); (8, 8); (9, 9) ] (List.rev !seen);
+  Log.truncate log ~keep_from:4;
+  let seen = ref [] in
+  Log.iter_durable_from log ~from:0 (fun lsn r -> seen := (lsn, r) :: !seen);
+  Alcotest.(check (pair int int))
+    "clamped to base after truncation" (4, 4)
+    (List.hd (List.rev !seen))
+
 let () =
   Alcotest.run "camelot_wal"
     [
@@ -305,5 +492,32 @@ let () =
             test_wait_durable_already_durable;
           Alcotest.test_case "group commit throughput (§3.5)" `Quick
             test_throughput_cap_without_batching;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "single force" `Quick test_daemon_single_force;
+          Alcotest.test_case "LSN-ordered wakeup" `Quick
+            test_daemon_lsn_ordered_wakeup;
+          Alcotest.test_case "simultaneous forces share one write" `Quick
+            test_daemon_simultaneous_forces;
+          Alcotest.test_case "next batch pipelines behind in-flight write"
+            `Quick test_daemon_pipelines_next_batch;
+          Alcotest.test_case "wait_durable rides the periodic flush" `Quick
+            test_daemon_wait_durable_rides_flush;
+          Alcotest.test_case "daemon stops after crash" `Quick
+            test_daemon_stops_after_crash;
+          Alcotest.test_case "stale flusher stops after crash+restart" `Quick
+            test_flusher_stops_after_crash;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "LSNs stable across truncate" `Quick
+            test_truncate_keeps_lsns_stable;
+          Alcotest.test_case "cannot truncate volatile tail" `Quick
+            test_truncate_past_durable_rejected;
+          Alcotest.test_case "truncate unpins dropped records" `Quick
+            test_truncate_unpins_dropped_records;
+          Alcotest.test_case "iter_durable_from clamps to base" `Quick
+            test_iter_durable_from;
         ] );
     ]
