@@ -22,17 +22,18 @@ bench:
 	dune exec bench/main.exe
 
 # Fast CI-friendly pass: one-shot timings for every microbenchmark plus
-# the Part-1 reproduction wall clock, written as BENCH_3.json
-# (BENCH_2.json is the committed previous-PR baseline it is compared
+# the Part-1 reproduction wall clock, written as BENCH_4.json
+# (BENCH_3.json is the committed previous-PR baseline it is compared
 # against).
 bench-smoke:
-	dune exec bench/main.exe -- --quick --json BENCH_3.json
+	dune exec bench/main.exe -- --quick --json BENCH_4.json
 
 # Fail if any microbenchmark present in both baselines got more than
-# 25% slower, or any closed-loop throughput point more than 8% lower,
-# than the previous baseline.
+# 25% slower, any closed-loop throughput point more than 8% lower,
+# than the previous baseline — or if the recovery partition-scaling
+# curve in the new baseline stops decreasing.
 bench-compare:
-	dune exec bench/compare.exe -- BENCH_2.json BENCH_3.json
+	dune exec bench/compare.exe -- BENCH_3.json BENCH_4.json
 
 # Formatting gate. The container may not ship ocamlformat; skip (with a
 # note) rather than fail when the tool is absent.

@@ -15,7 +15,13 @@
 
    Entries appearing in only one file are listed but never fail the
    run, so adding or retiring a benchmark does not break the guard.
-   Exits 1 iff some shared entry regressed. *)
+
+   Additionally, "... (partitions=N)" entries in the NEW file must
+   strictly decrease as N grows (recovery partition scaling — the
+   values are deterministic virtual time, so no noise margin applies).
+
+   Exits 1 iff some shared entry regressed or a partition curve
+   stopped decreasing. *)
 
 let usage () =
   prerr_endline "usage: compare.exe OLD.json NEW.json [--threshold RATIO]";
@@ -108,6 +114,67 @@ let compare_section ~title ~unit_label ~bad old_b new_b =
     old_b;
   !regressions
 
+(* Partition-scaling guard, applied to the NEW baseline alone: entries
+   named "... (partitions=N)" are grouped by prefix and their values
+   must strictly decrease as N grows — parallel replay that stops
+   scaling is a regression even if every individual number is stable.
+   The points are virtual-time, hence deterministic: no noise margin
+   needed. *)
+let partition_suffix = "(partitions="
+
+let partition_of name =
+  let n = String.length name and m = String.length partition_suffix in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub name i m = partition_suffix then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt name (i + m) ')' with
+      | None -> None
+      | Some j -> (
+          match int_of_string_opt (String.sub name (i + m) (j - i - m)) with
+          | None -> None
+          | Some p -> Some (String.sub name 0 i, p)))
+
+let partition_guard entries =
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun (name, v) ->
+      match partition_of name with
+      | None -> ()
+      | Some (prefix, p) ->
+          let cur = try Hashtbl.find groups prefix with Not_found -> [] in
+          Hashtbl.replace groups prefix ((p, v) :: cur))
+    entries;
+  let regressions = ref 0 in
+  Hashtbl.iter
+    (fun prefix points ->
+      match List.sort compare points with
+      | [] | [ _ ] -> ()
+      | points ->
+          print_newline ();
+          Printf.printf "%-55s %14s %14s\n"
+            (String.trim prefix ^ " scaling")
+            "PARTITIONS" "VALUE";
+          let prev = ref None in
+          List.iter
+            (fun (p, v) ->
+              let flag =
+                match !prev with
+                | Some pv when v >= pv ->
+                    incr regressions;
+                    "  <-- NOT DECREASING"
+                | Some _ | None -> ""
+              in
+              prev := Some v;
+              Printf.printf "%-55s %14d %14.1f%s\n" "" p v flag)
+            points)
+    groups;
+  !regressions
+
 let () =
   let threshold = ref 1.25 in
   let tps_threshold = ref 0.92 in
@@ -150,10 +217,14 @@ let () =
         old_tps new_tps
     end
   in
-  let regressions = ns_regressions + tps_regressions in
+  let scaling_regressions =
+    partition_guard (section new_path "benchmarks_ns_per_run")
+  in
+  let regressions = ns_regressions + tps_regressions + scaling_regressions in
   if regressions > 0 then begin
     Printf.printf
-      "\n%d entr(y/ies) regressed vs %s (ns > %.2fx or tps < %.2fx).\n"
+      "\n%d entr(y/ies) regressed vs %s (ns > %.2fx, tps < %.2fx, or \
+       partition curve not decreasing).\n"
       regressions old_path !threshold !tps_threshold;
     exit 1
   end

@@ -19,7 +19,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let json_path =
-  let path = ref "BENCH_3.json" in
+  let path = ref "BENCH_4.json" in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
     Sys.argv;
@@ -241,6 +241,22 @@ let bench_wal_batched () =
   done;
   Camelot_sim.Engine.run ~until:10_000.0 eng
 
+(* Append-path overhead of dependency tracking: identical 1k-record
+   spool loops, one on a plain log, one paying the last-writer probe
+   per record. The delta is the whole foreground cost of dep mode. *)
+let bench_wal_append ~dep () =
+  let eng = Camelot_sim.Engine.create () in
+  let site =
+    Camelot_mach.Site.create eng ~id:0 ~model:Camelot_mach.Cost_model.rt
+      ~rng:(Camelot_sim.Rng.create ~seed:3)
+  in
+  let log = Camelot_wal.Log.create ~dep_logging:dep site in
+  for i = 0 to 999 do
+    let key = "k" ^ string_of_int (i land 63) in
+    let d = Camelot_wal.Log.dep_next log ~key in
+    ignore (Camelot_wal.Log.append log (i + d) : int)
+  done
+
 (* Recovery-scan rigs, built once: a 10k-record log, full versus
    truncated to the newest 100 records. Scanning the truncated one
    must cost O(window), not O(history) — that ratio is the point of
@@ -318,6 +334,10 @@ let tests =
                  : Camelot_experiments.Throughput.result)));
       Test.make ~name:"wal: 1k append+force batched"
         (Staged.stage bench_wal_batched);
+      Test.make ~name:"wal: 1k append (plain)"
+        (Staged.stage (bench_wal_append ~dep:false));
+      Test.make ~name:"wal: 1k append (dep-tracked)"
+        (Staged.stage (bench_wal_append ~dep:true));
       Test.make ~name:"wal: recovery scan 10k records (full)"
         (Staged.stage (bench_recovery_scan scan_log_full));
       Test.make ~name:"wal: recovery scan 10k records (truncated)"
@@ -388,6 +408,19 @@ let micro_benchmarks () =
        estimates);
   estimates
 
+(* Deterministic recovery-scaling points (virtual time, not wall
+   clock), folded into the baseline so compare.exe can hold the
+   partition curve monotone across revisions. Always the full
+   100k-record log: it costs little wall clock and keeps names and
+   values identical between quick and full runs. *)
+let recovery_sweep_estimates () =
+  List.map
+    (fun (p : Camelot_experiments.Recovery_sweep.point) ->
+      ( Printf.sprintf "recovery: dep replay %dk ns/record (partitions=%d)"
+          (p.rp_records / 1000) p.rp_partitions,
+        Some p.rp_ns_per_record ))
+    (Camelot_experiments.Recovery_sweep.run ())
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable baseline *)
 
@@ -442,7 +475,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let throughput = reproduce () in
   let repro_wall_clock_s = Unix.gettimeofday () -. t0 in
-  let estimates = micro_benchmarks () in
+  let estimates = micro_benchmarks () @ recovery_sweep_estimates () in
   write_baseline ~path:json_path ~repro_wall_clock_s ~throughput estimates;
   print_newline ();
   print_endline "bench: done."

@@ -143,6 +143,19 @@ let cmds =
         ignore
           (Camelot_experiments.Logger_sweep.run ~horizon_ms ()
             : Camelot_experiments.Logger_sweep.point list));
+    (let records =
+       let doc = "Log records to replay per partition count." in
+       Arg.(value & opt int 100_000 & info [ "records" ] ~docv:"N" ~doc)
+     in
+     experiment "recovery-sweep"
+       "Recovery scaling: dependency-partitioned parallel replay at 1/2/4/8 \
+        partitions."
+       Term.(
+         const (fun records () ->
+             ignore
+               (Camelot_experiments.Recovery_sweep.run ~records ()
+                 : Camelot_experiments.Recovery_sweep.point list))
+         $ records $ const ()));
     all_cmd;
   ]
 

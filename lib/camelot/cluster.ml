@@ -19,6 +19,8 @@ type t = {
   flush_every_ms : float;
   logger : logger;
   checkpoint_every : int option;
+  dep_logging : bool;
+  recovery_partitions : int;
 }
 
 (* Chaos fault point: a crash between the checkpoint record becoming
@@ -42,9 +44,12 @@ let checkpoint_node ?(truncate = true) n =
   let ck_values = List.concat_map Camelot_server.Data_server.snapshot n.servers in
   let ck_active = List.concat_map Camelot_server.Data_server.inflight n.servers in
   let ck_families = Tranman.family_images n.tranman in
+  (* dependency mode: snapshot the last-writer table so recovery from a
+     truncated log keeps chain continuity ([] otherwise) *)
+  let ck_chains = Camelot_wal.Log.dep_chains n.log in
   let ck_lsn =
     Camelot_wal.Log.append n.log
-      (Record.Checkpoint { ck_values; ck_active; ck_families })
+      (Record.Checkpoint { ck_values; ck_active; ck_families; ck_chains })
   in
   Camelot_wal.Log.force n.log;
   (* a crash landing here leaves a durable checkpoint with the old
@@ -73,11 +78,13 @@ let start_checkpointer ~flush_every_ms n ~every =
 
 let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
     ?(group_commit = false) ?(logger = Fixed) ?checkpoint_every ?flush_every_ms
-    ?(loss = 0.0) ~sites () =
+    ?(loss = 0.0) ?(dep_logging = false) ?(recovery_partitions = 1) ~sites () =
   if sites <= 0 then invalid_arg "Cluster.create: need at least one site";
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
   | _ -> ());
+  if recovery_partitions <= 0 then
+    invalid_arg "Cluster.create: recovery_partitions must be positive";
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let lan = Camelot_net.Lan.create ~loss engine ~model ~rng:(Rng.split rng) in
@@ -95,12 +102,12 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
         let site = Site.create engine ~id ~model ~rng:(Rng.split rng) in
         let log =
           match logger with
-          | Fixed -> Camelot_wal.Log.create ~group_commit site
+          | Fixed -> Camelot_wal.Log.create ~group_commit ~dep_logging site
           | Adaptive ->
               (* the daemon subsumes group commit: forces park on the
                  LSN heap and are batched by the pipeline *)
               Camelot_wal.Log.create ~group_commit:true
-                ~daemon:Camelot_wal.Log.daemon_defaults site
+                ~daemon:Camelot_wal.Log.daemon_defaults ~dep_logging site
         in
         start_log_daemons ~flush_every_ms log;
         let tranman =
@@ -116,7 +123,17 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
         { site; log; tranman; servers })
   in
   let t =
-    { engine; lan; model; nodes; flush_every_ms; logger; checkpoint_every }
+    {
+      engine;
+      lan;
+      model;
+      nodes;
+      flush_every_ms;
+      logger;
+      checkpoint_every;
+      dep_logging;
+      recovery_partitions;
+    }
   in
   (match checkpoint_every with
   | None -> ()
@@ -175,7 +192,8 @@ let restart_site t i =
       Camelot_server.Data_server.reset srv;
       Camelot_server.Data_server.reattach srv)
     n.servers;
-  Camelot_recovery.Recovery.run ~tranman:n.tranman ~log:n.log ~servers:n.servers
+  Camelot_recovery.Recovery.run ~partitions:t.recovery_partitions
+    ~tranman:n.tranman ~log:n.log ~servers:n.servers ()
 
 let partition t groups = Camelot_net.Lan.partition t.lan groups
 

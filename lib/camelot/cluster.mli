@@ -49,7 +49,15 @@ type logger = Fixed | Adaptive
     @param flush_every_ms background log flusher period (default:
     [max 50 (4 * log_force_ms)], so the flusher never competes with
     foreground forces)
-    @param loss datagram loss probability (default 0) *)
+    @param loss datagram loss probability (default 0)
+    @param dep_logging create every site's log in dependency mode: each
+    update record carries the LSN of the previous update to the same
+    (server, key), checkpoints snapshot the chain table, and recovery
+    may replay partitions in parallel (default false — the
+    paper-reproduction path is byte-identical without it)
+    @param recovery_partitions parallel replay chains used by
+    {!restart_site} (default 1 = sequential; only takes effect with
+    [dep_logging]) *)
 val create :
   ?seed:int ->
   ?model:Camelot_mach.Cost_model.t ->
@@ -60,6 +68,8 @@ val create :
   ?checkpoint_every:int ->
   ?flush_every_ms:float ->
   ?loss:float ->
+  ?dep_logging:bool ->
+  ?recovery_partitions:int ->
   sites:int ->
   unit ->
   t

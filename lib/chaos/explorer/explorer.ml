@@ -76,6 +76,8 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
     Camelot.Cluster.create ~seed:cluster_seed ~model:quiet_model
       ~config:(chaos_config ()) ~logger:w.Workload.w_logger
       ?checkpoint_every:w.Workload.w_checkpoint_every
+      ~dep_logging:w.Workload.w_dep_logging
+      ~recovery_partitions:w.Workload.w_recovery_partitions
       ~sites:w.Workload.w_sites ()
   in
   Camelot.Cluster.each_config c mutate_config;
@@ -304,6 +306,7 @@ let hit_cap = function
   | "net.datagram" -> 12
   | "wal.force.torn" -> 6
   | "wal.daemon.batch" -> 4  (* fires on every daemon drain pass *)
+  | "recovery.partition.done" -> 4  (* fires once per replay fiber *)
   | _ -> 2
 
 let singles_for hits =

@@ -22,6 +22,8 @@ type t = {
   w_sites : int;
   w_logger : Camelot.Cluster.logger;  (* force-batching machinery *)
   w_checkpoint_every : int option;  (* automatic checkpoint+truncate *)
+  w_dep_logging : bool;  (* dependency-tracking log mode *)
+  w_recovery_partitions : int;  (* parallel replay chains on restart *)
   w_start : Camelot.Cluster.t -> txn list;
 }
 
@@ -167,15 +169,26 @@ let adaptive = Camelot.Cluster.Adaptive
 let all =
   [
     { w_name = "pair-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
-      w_logger = fixed; w_checkpoint_every = None; w_start = pair_2pc };
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = pair_2pc };
     { w_name = "trio-nb"; w_protocol = Protocol.Nonblocking; w_sites = 3;
-      w_logger = fixed; w_checkpoint_every = None; w_start = trio_nb };
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = trio_nb };
     { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2;
-      w_logger = fixed; w_checkpoint_every = None; w_start = nested };
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = nested };
     { w_name = "mixed"; w_protocol = Protocol.Nonblocking; w_sites = 3;
-      w_logger = fixed; w_checkpoint_every = None; w_start = mixed };
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = mixed };
     { w_name = "ckpt-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
-      w_logger = adaptive; w_checkpoint_every = Some 8; w_start = ckpt_2pc };
+      w_logger = adaptive; w_checkpoint_every = Some 8; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = ckpt_2pc };
+    (* the ckpt-2pc shape with dependency logging on and partitioned
+       recovery: injections land around edge-stamped appends, chain
+       snapshots in checkpoints, and crash-mid-parallel-replay *)
+    { w_name = "dep-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
+      w_logger = adaptive; w_checkpoint_every = Some 8; w_dep_logging = true;
+      w_recovery_partitions = 2; w_start = ckpt_2pc };
   ]
 
 let find name = List.find_opt (fun w -> w.w_name = name) all

@@ -1,0 +1,20 @@
+(** Recovery-scaling sweep: a ~100k-record dependency-mode log on one
+    8-processor site, crashed and replayed with 1, 2, 4 and 8 parallel
+    partition chains. Reports simulated replay time and ns/record per
+    partition count; all virtual-time, hence deterministic. *)
+
+type point = {
+  rp_partitions : int;
+  rp_records : int;
+  rp_replay_ms : float;  (** virtual ms from crash to recovery complete *)
+  rp_ns_per_record : float;  (** simulated ns per replayed record *)
+}
+
+(** The swept partition counts: [1; 2; 4; 8]. *)
+val partition_counts : int list
+
+(** Run every partition count (default 100_000 records). *)
+val collect : ?records:int -> unit -> point list
+
+(** Sweep, print the table plus a speedup summary, return the points. *)
+val run : ?records:int -> unit -> point list

@@ -2,14 +2,19 @@ open Camelot_core
 
 type verdict = Winner | In_doubt | Loser
 
-(* Chaos fault points: crash *during* recovery, after the log scan and
-   between the redo and undo passes. Recovery must be idempotent under
-   both. *)
+(* Chaos fault points: crash *during* recovery — after the log scan,
+   between the redo and undo passes (per replay fiber in partitioned
+   mode), and as each partition's chain finishes replaying. Recovery
+   must be idempotent under all of them. *)
 let p_scan_done = Camelot_chaos.register "recovery.scan.done"
 let p_redo_done = Camelot_chaos.register "recovery.redo.done"
+let p_partition_done = Camelot_chaos.register "recovery.partition.done"
 
-let run ~tranman ~log ~servers =
-  let site_id = Camelot_mach.Site.id (Tranman.site tranman) in
+let dep_key (u : Record.update) = u.u_server ^ "/" ^ u.u_key
+
+let run ?(partitions = 1) ~tranman ~log ~servers () =
+  let site = Tranman.site tranman in
+  let site_id = Camelot_mach.Site.id site in
   let in_doubt = Tranman.recover tranman in
   Camelot_chaos.point ~site:site_id p_scan_done;
   let verdict_of tid =
@@ -20,6 +25,15 @@ let run ~tranman ~log ~servers =
     | Protocol.St_unknown ->
         Loser
   in
+  (* One name->server index built up front and reused by the checkpoint
+     restore, redo, and undo passes — each lookup O(1) instead of a
+     walk over every server per record. *)
+  let server_index = Hashtbl.create 16 in
+  List.iter
+    (fun srv ->
+      Hashtbl.replace server_index (Camelot_server.Data_server.name srv) srv)
+    servers;
+  let server_of name = Hashtbl.find_opt server_index name in
   (* Value replay starts from the last durable checkpoint. One backward
      scan from the tail finds it and collects the updates above it in
      one pass — O(records since checkpoint), not O(history), and after
@@ -30,43 +44,155 @@ let run ~tranman ~log ~servers =
   let base = Camelot_wal.Log.base_lsn log in
   while !checkpoint = None && !lsn >= base do
     (match Camelot_wal.Log.get log !lsn with
-    | Record.Checkpoint { ck_values; ck_active; _ } ->
-        checkpoint := Some (ck_values, ck_active)
-    | Record.Update u -> updates_after := u :: !updates_after
+    | Record.Checkpoint { ck_values; ck_active; ck_chains; _ } ->
+        checkpoint := Some (ck_values, ck_active, ck_chains)
+    | Record.Update u -> updates_after := (!lsn, u) :: !updates_after
     | _ -> ());
     decr lsn
   done;
   let pre_updates =
     match !checkpoint with
     | None -> []
-    | Some (ck_values, ck_active) ->
+    | Some (ck_values, ck_active, _) ->
         List.iter
           (fun (server, key, value) ->
-            List.iter
-              (fun srv ->
-                if Camelot_server.Data_server.name srv = server then
-                  Camelot_server.Data_server.restore srv ~key ~value)
-              servers)
+            match server_of server with
+            | Some srv -> Camelot_server.Data_server.restore srv ~key ~value
+            | None -> ())
           ck_values;
         ck_active
   in
-  let updates = pre_updates @ !updates_after in
-  (* forward pass: rebuild values; in-doubt updates also regain locks *)
-  List.iter
-    (fun (u : Record.update) ->
-      let v = verdict_of u.u_tid in
+  (* Dependency mode: the last-writer table died with the site's memory.
+     Rebuild it — checkpoint snapshot first, then the scanned tail (its
+     LSNs are newer and win) — so post-recovery appends continue the
+     recorded chains instead of restarting every key. *)
+  if Camelot_wal.Log.dep_logging log then begin
+    (match !checkpoint with
+    | Some (_, _, ck_chains) ->
+        List.iter (fun (key, l) -> Camelot_wal.Log.dep_seed log ~key l) ck_chains
+    | None -> ());
+    List.iter
+      (fun (l, u) -> Camelot_wal.Log.dep_seed log ~key:(dep_key u) l)
+      !updates_after
+  end;
+  let redo_one (u : Record.update) =
+    match server_of u.u_server with
+    | None -> ()
+    | Some srv -> (
+        match verdict_of u.u_tid with
+        | In_doubt -> Camelot_server.Data_server.recover_in_doubt srv u
+        | Winner | Loser -> Camelot_server.Data_server.redo srv u)
+  in
+  let undo_one (u : Record.update) =
+    if verdict_of u.u_tid = Loser then
+      match server_of u.u_server with
+      | None -> ()
+      | Some srv -> Camelot_server.Data_server.undo srv u
+  in
+  if not (Camelot_wal.Log.dep_logging log) then begin
+    (* sequential replay: the paper's single totally-ordered pass, with
+       no replay CPU model — byte-identical to the reproduction *)
+    let updates = pre_updates @ List.map snd !updates_after in
+    (* forward pass: rebuild values; in-doubt updates also regain locks *)
+    List.iter redo_one updates;
+    Camelot_chaos.point ~site:site_id p_redo_done;
+    (* reverse pass: undo the losers *)
+    List.iter undo_one (List.rev updates)
+  end
+  else begin
+    (* Dependency-partitioned replay (Yao et al.): bucket the window's
+       records into [partitions] chains along the recorded edges, then
+       replay each chain on its own fiber. Records of the same
+       (server, key) always share a bucket — a chain head lands at
+       [hash (dep key) mod k] and followers inherit the head's bucket
+       through [pid_of_lsn] — so no two fibers ever touch the same key
+       and per-chain forward/undo order equals the sequential order
+       restricted to that chain. [partitions = 1] uses the same
+       machinery with a single chain, so the replay CPU model applies
+       uniformly across the sweep. *)
+    let k = max 1 partitions in
+    let pid_of_key key = Hashtbl.hash key mod k in
+    let buckets = Array.make k [] in
+    (* checkpoint in-flight updates carry no LSNs: bucket by chain key,
+       which is exactly where their key's later records land too *)
+    List.iter
+      (fun (u : Record.update) ->
+        let p = pid_of_key (dep_key u) in
+        buckets.(p) <- u :: buckets.(p))
+      pre_updates;
+    let pid_of_lsn = Hashtbl.create 1024 in
+    List.iter
+      (fun (l, (u : Record.update)) ->
+        let p =
+          if u.u_dep >= 0 then
+            match Hashtbl.find_opt pid_of_lsn u.u_dep with
+            | Some p -> p (* follow the chain *)
+            | None ->
+                (* predecessor below the scan window (truncated or
+                   already durable before the checkpoint): chain head *)
+                pid_of_key (dep_key u)
+          else pid_of_key (dep_key u)
+        in
+        Hashtbl.replace pid_of_lsn l p;
+        buckets.(p) <- u :: buckets.(p))
+      !updates_after;
+    let live =
+      List.filter (fun chain -> chain <> []) (Array.to_list buckets)
+    in
+    if live = [] then Camelot_chaos.point ~site:site_id p_redo_done
+    else begin
+      let model = Camelot_mach.Site.model site in
+      let replay_ms = model.Camelot_mach.Cost_model.recovery_replay_cpu_ms in
+      (* charge replay CPU in chunks so k chains overlap across the
+         site's processors without one resource call per record *)
+      let chunk = 512 in
+      let charge n =
+        if replay_ms > 0.0 && n > 0 then
+          Camelot_mach.Site.cpu_use site (replay_ms *. float_of_int n)
+      in
+      let remaining = ref (List.length live) in
+      let waiter = ref None in
+      let finish () =
+        decr remaining;
+        if !remaining = 0 then
+          match !waiter with
+          | Some r -> Camelot_sim.Fiber.resume r (Ok ())
+          | None -> ()
+      in
       List.iter
-        (fun srv ->
-          match v with
-          | In_doubt -> Camelot_server.Data_server.recover_in_doubt srv u
-          | Winner | Loser -> Camelot_server.Data_server.redo srv u)
-        servers)
-    updates;
-  Camelot_chaos.point ~site:site_id p_redo_done;
-  (* reverse pass: undo the losers *)
-  List.iter
-    (fun (u : Record.update) ->
-      if verdict_of u.u_tid = Loser then
-        List.iter (fun srv -> Camelot_server.Data_server.undo srv u) servers)
-    (List.rev updates);
+        (fun rev_chain ->
+          let chain = List.rev rev_chain in
+          Camelot_mach.Site.spawn site ~name:"recovery-replay" (fun () ->
+              let n = ref 0 in
+              List.iter
+                (fun u ->
+                  redo_one u;
+                  incr n;
+                  if !n mod chunk = 0 then charge chunk)
+                chain;
+              charge (!n mod chunk);
+              Camelot_chaos.point ~site:site_id p_redo_done;
+              (* undo this chain's losers, newest first *)
+              List.iter undo_one rev_chain;
+              Camelot_chaos.point ~site:site_id p_partition_done;
+              finish ()))
+        live;
+      (* Wait for every partition. The replay fibers belong to the
+         site's incarnation group: if a fault point kills the site
+         mid-recovery they are cancelled and would never resume us, so
+         a group hook turns the kill into [Killed] for the caller (the
+         chaos explorer retries the restart). *)
+      let group = Camelot_mach.Site.group site in
+      if Camelot_sim.Fiber.Group.killed group then raise Camelot_chaos.Killed;
+      let hook =
+        Camelot_sim.Fiber.Group.register group (fun () ->
+            match !waiter with
+            | Some r -> Camelot_sim.Fiber.resume r (Error Camelot_chaos.Killed)
+            | None -> ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Camelot_sim.Fiber.Group.unregister group hook)
+        (fun () -> Camelot_sim.Fiber.suspend (fun r -> waiter := Some r))
+    end
+  end;
   in_doubt

@@ -17,12 +17,33 @@
       loop (2PC) or takeover (non-blocking) resolves them.
 
     Call after the site restarts and the servers have been
-    reattached. *)
+    reattached.
+
+    {b Dependency-partitioned replay} (Yao et al.): when the log runs
+    in dependency mode and [partitions > 1], the scanned window is
+    bucketed into chains along the recorded [u_dep] edges — records of
+    the same (server, key) always share a bucket — and each bucket is
+    replayed by its own fiber, charging [recovery_replay_cpu_ms] per
+    record so independent chains overlap across the site's processors.
+    Verdict classification, lock re-acquisition for in-doubt updates,
+    and the forward-redo / reverse-undo order are preserved per chain,
+    which makes the result identical to the sequential pass. A
+    dependency-mode log always replays through this machinery
+    ([partitions = 1] is a single chain), so the replay CPU model is
+    uniform across partition counts; a non-dependency log takes the
+    sequential path untouched — no fibers, no CPU charges, byte-for-byte
+    the paper-reproduction behaviour. *)
 
 (** Returns the transactions left in doubt (their watchdogs are
-    running). *)
+    running).
+    @param partitions number of parallel replay chains (default 1 =
+    sequential; only takes effect on a dependency-mode log)
+    @raise Camelot_chaos.Killed if the site is killed while partitioned
+    replay fibers are still running — retry after the next restart. *)
 val run :
+  ?partitions:int ->
   tranman:Camelot_core.Tranman.t ->
   log:Camelot_core.Record.t Camelot_wal.Log.t ->
   servers:Camelot_server.Data_server.t list ->
+  unit ->
   Camelot_core.Tid.t list

@@ -59,10 +59,21 @@ let spool_update t tid ~key ~old_v ~new_v =
      cheaper) copy is charged by its drain pass instead *)
   if not (Camelot_wal.Log.defers_spool_cpu t.log) then
     Site.cpu_use t.site (Site.model t.site).Cost_model.log_spool_cpu_ms;
+  (* dependency edge: one probe of the log's last-writer table, -1 in
+     default mode. The append must follow immediately (no suspension
+     point) so the LSN [dep_next] recorded is this record's. *)
+  let dep = Camelot_wal.Log.dep_next t.log ~key:(t.name ^ "/" ^ key) in
   ignore
     (Camelot_wal.Log.append t.log
        (Record.Update
-          { u_tid = tid; u_server = t.name; u_key = key; u_old = old_v; u_new = new_v })
+          {
+            u_tid = tid;
+            u_server = t.name;
+            u_key = key;
+            u_old = old_v;
+            u_new = new_v;
+            u_dep = dep;
+          })
       : int)
 
 (* --- callbacks registered with the transaction manager ----------- *)
@@ -263,6 +274,9 @@ let inflight t =
                  u_key = e.e_key;
                  u_old = e.e_old;
                  u_new = new_v;
+                 (* checkpoint images carry no dependency edges; the
+                    chain metadata travels separately in [ck_chains] *)
+                 u_dep = -1;
                }
               :: acc)
       in
