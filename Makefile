@@ -22,18 +22,20 @@ bench:
 	dune exec bench/main.exe
 
 # Fast CI-friendly pass: one-shot timings for every microbenchmark plus
-# the Part-1 reproduction wall clock, written as BENCH_4.json
-# (BENCH_3.json is the committed previous-PR baseline it is compared
-# against).
+# the Part-1 reproduction wall clock and the open-loop sweep points,
+# written as BENCH_5.json (BENCH_4.json is the committed previous-PR
+# baseline it is compared against).
 bench-smoke:
-	dune exec bench/main.exe -- --quick --json BENCH_4.json
+	dune exec bench/main.exe -- --quick --json BENCH_5.json
 
 # Fail if any microbenchmark present in both baselines got more than
 # 25% slower, any closed-loop throughput point more than 8% lower,
-# than the previous baseline — or if the recovery partition-scaling
-# curve in the new baseline stops decreasing.
+# than the previous baseline — or if a structural guard on the new
+# baseline fails: recovery partition-scaling curve not decreasing,
+# wheel timers not beating the heap at >=100k pending, or the
+# open-loop p99-vs-load series losing its saturation knee.
 bench-compare:
-	dune exec bench/compare.exe -- BENCH_3.json BENCH_4.json
+	dune exec bench/compare.exe -- BENCH_4.json BENCH_5.json
 
 # Formatting gate. The container may not ship ocamlformat; skip (with a
 # note) rather than fail when the tool is absent.

@@ -16,12 +16,21 @@
    Entries appearing in only one file are listed but never fail the
    run, so adding or retiring a benchmark does not break the guard.
 
-   Additionally, "... (partitions=N)" entries in the NEW file must
-   strictly decrease as N grows (recovery partition scaling — the
-   values are deterministic virtual time, so no noise margin applies).
+   Additionally, three structural guards run on the NEW baseline alone:
 
-   Exits 1 iff some shared entry regressed or a partition curve
-   stopped decreasing. *)
+   - "... (partitions=N)" entries must strictly decrease as N grows
+     (recovery partition scaling — the values are deterministic
+     virtual time, so no noise margin applies);
+   - "... pending=N (wheel)" must beat its "... pending=N (heap)"
+     sibling for N >= 100_000 (the calendar-queue wheel must win in
+     the many-pending-timers regime it exists for);
+   - the "open-loop: p99 ms (load=N)" series must show a saturation
+     knee: the largest p99 at least double the smallest (an open loop
+     that no longer saturates, or whose sub-knee latency exploded to
+     meet the post-knee one, is a broken rig).
+
+   Exits 1 iff some shared entry regressed or a structural guard
+   failed. *)
 
 let usage () =
   prerr_endline "usage: compare.exe OLD.json NEW.json [--threshold RATIO]";
@@ -175,6 +184,87 @@ let partition_guard entries =
     groups;
   !regressions
 
+(* Wheel-vs-heap guard: for every "... pending=N (heap)" entry with a
+   "(wheel)" sibling and N >= 100_000, the wheel must be strictly
+   faster. Below that the global heap may win (small constant factors)
+   and no verdict is enforced; the pairs are still printed. *)
+let pending_key = "pending="
+
+let pending_of name =
+  let n = String.length name and m = String.length pending_key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub name i m = pending_key then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while !stop < n && name.[!stop] >= '0' && name.[!stop] <= '9' do incr stop done;
+      int_of_string_opt (String.sub name start (!stop - start))
+
+let strip_suffix name suffix =
+  let n = String.length name and m = String.length suffix in
+  if n >= m && String.sub name (n - m) m = suffix then Some (String.sub name 0 (n - m))
+  else None
+
+let wheel_guard entries =
+  let regressions = ref 0 in
+  let printed_header = ref false in
+  List.iter
+    (fun (name, heap_v) ->
+      match strip_suffix name " (heap)" with
+      | None -> ()
+      | Some prefix -> (
+          match List.assoc_opt (prefix ^ " (wheel)") entries with
+          | None -> ()
+          | Some wheel_v ->
+              if not !printed_header then begin
+                print_newline ();
+                Printf.printf "%-55s %14s %14s\n" "TIMER BACKEND" "HEAP ns"
+                  "WHEEL ns";
+                printed_header := true
+              end;
+              let enforced =
+                match pending_of prefix with Some n -> n >= 100_000 | None -> false
+              in
+              let flag =
+                if enforced && wheel_v >= heap_v then begin
+                  incr regressions;
+                  "  <-- WHEEL NOT FASTER"
+                end
+                else ""
+              in
+              Printf.printf "%-55s %14.1f %14.1f%s\n" prefix heap_v wheel_v flag))
+    entries;
+  !regressions
+
+(* Open-loop knee guard: the p99-vs-offered-load series must span at
+   least a 2x range — the signature of a saturation knee inside the
+   sweep. Deterministic virtual time, so the ratio is exact. *)
+let load_key = "p99 ms (load="
+
+let knee_guard entries =
+  let points =
+    List.filter (fun (name, _) -> contains_sub name load_key) entries
+  in
+  match points with
+  | [] | [ _ ] -> 0
+  | points ->
+      let vs = List.map snd points in
+      let lo = List.fold_left Float.min Float.infinity vs in
+      let hi = List.fold_left Float.max 0.0 vs in
+      print_newline ();
+      Printf.printf "%-55s %14s\n" "OPEN-LOOP p99 KNEE" "p99 ms";
+      List.iter (fun (n, v) -> Printf.printf "%-55s %14.1f\n" n v) points;
+      if lo > 0.0 && hi /. lo >= 2.0 then 0
+      else begin
+        Printf.printf "%-55s %s\n" ""
+          "  <-- NO KNEE: p99 range under 2x across the load sweep";
+        1
+      end
+
 let () =
   let threshold = ref 1.25 in
   let tps_threshold = ref 0.92 in
@@ -217,14 +307,19 @@ let () =
         old_tps new_tps
     end
   in
-  let scaling_regressions =
-    partition_guard (section new_path "benchmarks_ns_per_run")
+  let new_entries = section new_path "benchmarks_ns_per_run" in
+  let scaling_regressions = partition_guard new_entries in
+  let wheel_regressions = wheel_guard new_entries in
+  let knee_regressions = knee_guard new_entries in
+  let regressions =
+    ns_regressions + tps_regressions + scaling_regressions + wheel_regressions
+    + knee_regressions
   in
-  let regressions = ns_regressions + tps_regressions + scaling_regressions in
   if regressions > 0 then begin
     Printf.printf
-      "\n%d entr(y/ies) regressed vs %s (ns > %.2fx, tps < %.2fx, or \
-       partition curve not decreasing).\n"
+      "\n%d entr(y/ies) regressed vs %s (ns > %.2fx, tps < %.2fx, or a \
+       structural guard — partition scaling, wheel-vs-heap, open-loop knee — \
+       failed).\n"
       regressions old_path !threshold !tps_threshold;
     exit 1
   end

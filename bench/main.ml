@@ -19,7 +19,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let json_path =
-  let path = ref "BENCH_4.json" in
+  let path = ref "BENCH_5.json" in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
     Sys.argv;
@@ -159,6 +159,21 @@ let bench_engine_cancel () =
       Camelot_sim.Engine.schedule_timer eng ~delay:(float_of_int i) (fun () -> ())
     in
     if i mod 5 <> 0 then cancel ()
+  done;
+  Camelot_sim.Engine.run eng
+
+(* Timer-backend scaling: schedule [n] pending timers spread across the
+   wheel's 2s window, then drain. The same workload runs on both
+   backends; compare.exe requires the wheel to win from 100k pending up
+   (at 1k the global heap is still competitive — that crossover is the
+   point of keeping it the default for the closed-loop experiments). *)
+let nop () = ()
+
+let bench_timers ~timers n () =
+  let eng = Camelot_sim.Engine.create ~timers () in
+  for i = 0 to n - 1 do
+    let delay = float_of_int ((i * 7919) land 2047) +. 0.25 in
+    Camelot_sim.Engine.schedule eng ~delay nop
   done;
   Camelot_sim.Engine.run eng
 
@@ -351,6 +366,28 @@ let tests =
                  : Camelot_experiments.Throughput.result)));
     ]
 
+(* The timer-backend scaling group runs AFTER (and apart from) the main
+   group, behind a [Gc.compact]: the 1M-pending runs grow the major
+   heap by hundreds of MB, and any bench measured in the same process
+   afterwards would pay their GC and locality tax — which is exactly
+   the uniform phantom "regression" the baseline diff would flag. *)
+let timer_tests =
+  Test.make_grouped ~name:"camelot" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"sim: timers pending=1000 (heap)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Heap_timers 1_000));
+      Test.make ~name:"sim: timers pending=1000 (wheel)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Wheel_timers 1_000));
+      Test.make ~name:"sim: timers pending=100000 (heap)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Heap_timers 100_000));
+      Test.make ~name:"sim: timers pending=100000 (wheel)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Wheel_timers 100_000));
+      Test.make ~name:"sim: timers pending=1000000 (heap)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Heap_timers 1_000_000));
+      Test.make ~name:"sim: timers pending=1000000 (wheel)"
+        (Staged.stage (bench_timers ~timers:Camelot_sim.Engine.Wheel_timers 1_000_000));
+    ]
+
 (* name -> ns/run estimates, sorted by name *)
 let micro_benchmarks () =
   Camelot_experiments.Report.header "Micro-benchmarks (Bechamel, wall-clock)";
@@ -359,7 +396,7 @@ let micro_benchmarks () =
       ~quota:(Time.second (if quick then 0.2 else 0.5))
       ~kde:(Some 1000) ()
   in
-  let one_pass () =
+  let one_pass tests =
     let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -382,17 +419,22 @@ let micro_benchmarks () =
      per-name minimum over a few passes instead. *)
   let passes = if quick then 3 else 1 in
   let merged = Hashtbl.create 32 in
-  for _ = 1 to passes do
-    List.iter
-      (fun (name, ns) ->
-        match (ns, Hashtbl.find_opt merged name) with
-        | Some est, Some (Some best) ->
-            if est < best then Hashtbl.replace merged name (Some est)
-        | Some est, (Some None | None) -> Hashtbl.replace merged name (Some est)
-        | None, Some _ -> ()
-        | None, None -> Hashtbl.add merged name None)
-      (one_pass ())
-  done;
+  let run_group tests =
+    for _ = 1 to passes do
+      List.iter
+        (fun (name, ns) ->
+          match (ns, Hashtbl.find_opt merged name) with
+          | Some est, Some (Some best) ->
+              if est < best then Hashtbl.replace merged name (Some est)
+          | Some est, (Some None | None) -> Hashtbl.replace merged name (Some est)
+          | None, Some _ -> ()
+          | None, None -> Hashtbl.add merged name None)
+        (one_pass tests)
+    done
+  in
+  run_group tests;
+  Gc.compact ();
+  run_group timer_tests;
   let estimates =
     List.sort compare (Hashtbl.fold (fun n v acc -> (n, v) :: acc) merged [])
   in
@@ -420,6 +462,22 @@ let recovery_sweep_estimates () =
           (p.rp_records / 1000) p.rp_partitions,
         Some p.rp_ns_per_record ))
     (Camelot_experiments.Recovery_sweep.run ())
+
+(* Open-loop sweep points (virtual time, deterministic): p99 latency
+   and abort rate per offered load. compare.exe holds the p99-vs-load
+   series to a visible saturation knee — an engine or dispatch change
+   that flattens the curve (the open loop no longer saturating) or
+   explodes the sub-knee latency shows up here. *)
+let open_loop_estimates () =
+  List.concat_map
+    (fun (p : Camelot_experiments.Open_loop.point) ->
+      [
+        ( Printf.sprintf "open-loop: p99 ms (load=%.0f)" p.offered_tps,
+          Some p.p99_ms );
+        ( Printf.sprintf "open-loop: abort pct (load=%.0f)" p.offered_tps,
+          Some (100.0 *. p.abort_rate) );
+      ])
+    (Camelot_experiments.Open_loop.run ())
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable baseline *)
@@ -475,7 +533,9 @@ let () =
   let t0 = Unix.gettimeofday () in
   let throughput = reproduce () in
   let repro_wall_clock_s = Unix.gettimeofday () -. t0 in
-  let estimates = micro_benchmarks () @ recovery_sweep_estimates () in
+  let estimates =
+    micro_benchmarks () @ recovery_sweep_estimates () @ open_loop_estimates ()
+  in
   write_baseline ~path:json_path ~repro_wall_clock_s ~throughput estimates;
   print_newline ();
   print_endline "bench: done."

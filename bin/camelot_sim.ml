@@ -143,6 +143,44 @@ let cmds =
         ignore
           (Camelot_experiments.Logger_sweep.run ~horizon_ms ()
             : Camelot_experiments.Logger_sweep.point list));
+    (let sites =
+       let doc = "Simulated sites driven by the generator." in
+       Arg.(value & opt int 24 & info [ "sites" ] ~docv:"N" ~doc)
+     in
+     let mix =
+       let doc = "Transaction mix: debit-credit or read-mostly." in
+       Arg.(
+         value
+         & opt
+             (enum
+                [
+                  ("debit-credit", Camelot_experiments.Open_loop.Debit_credit);
+                  ("read-mostly", Camelot_experiments.Open_loop.Read_mostly);
+                ])
+             Camelot_experiments.Open_loop.Debit_credit
+         & info [ "mix" ] ~docv:"MIX" ~doc)
+     in
+     let loads =
+       let doc = "Offered loads to sweep, in transactions/second." in
+       Arg.(
+         value
+         & opt (some (list float)) None
+         & info [ "loads" ] ~docv:"TPS,..." ~doc)
+     in
+     let ol_horizon =
+       let doc = "Virtual milliseconds per sweep point." in
+       Arg.(value & opt float 5_000.0 & info [ "horizon" ] ~docv:"MS" ~doc)
+     in
+     experiment "open-loop"
+       "Open-loop sweep: Poisson arrivals, Zipf keys, queue-sharded \
+        execution; p50/p99/p999, abort rate, saturation knee."
+       Term.(
+         const (fun sites mix loads horizon_ms () ->
+             ignore
+               (Camelot_experiments.Open_loop.run ~sites ~mix ?loads
+                  ~horizon_ms ()
+                 : Camelot_experiments.Open_loop.point list))
+         $ sites $ mix $ loads $ ol_horizon $ const ()));
     (let records =
        let doc = "Log records to replay per partition count." in
        Arg.(value & opt int 100_000 & info [ "records" ] ~docv:"N" ~doc)

@@ -78,14 +78,15 @@ let start_checkpointer ~flush_every_ms n ~every =
 
 let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
     ?(group_commit = false) ?(logger = Fixed) ?checkpoint_every ?flush_every_ms
-    ?(loss = 0.0) ?(dep_logging = false) ?(recovery_partitions = 1) ~sites () =
+    ?(loss = 0.0) ?(dep_logging = false) ?(recovery_partitions = 1)
+    ?timers ?lock_timeout_ms ~sites () =
   if sites <= 0 then invalid_arg "Cluster.create: need at least one site";
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
   | _ -> ());
   if recovery_partitions <= 0 then
     invalid_arg "Cluster.create: recovery_partitions must be positive";
-  let engine = Engine.create () in
+  let engine = Engine.create ?timers () in
   let rng = Rng.create ~seed in
   let lan = Camelot_net.Lan.create ~loss engine ~model ~rng:(Rng.split rng) in
   let directory = Hashtbl.create 16 in
@@ -118,7 +119,7 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
           List.init servers_per_site (fun index ->
               Camelot_server.Data_server.create
                 ~name:(server_name ~site_id:id ~index)
-                ~tranman ~log ())
+                ~tranman ~log ?lock_timeout_ms ())
         in
         { site; log; tranman; servers })
   in

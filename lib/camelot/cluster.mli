@@ -57,7 +57,14 @@ type logger = Fixed | Adaptive
     paper-reproduction path is byte-identical without it)
     @param recovery_partitions parallel replay chains used by
     {!restart_site} (default 1 = sequential; only takes effect with
-    [dep_logging]) *)
+    [dep_logging])
+    @param timers engine timer backend (default
+    [Camelot_sim.Engine.Heap_timers]; both backends execute the exact
+    same schedule — [Wheel_timers] is for open-loop runs with millions
+    of pending arrival timers)
+    @param lock_timeout_ms bound data-server lock waits: a transaction
+    waiting longer aborts with [Lock_timeout] instead of blocking
+    forever (default: wait forever — the paper-reproduction behavior) *)
 val create :
   ?seed:int ->
   ?model:Camelot_mach.Cost_model.t ->
@@ -70,6 +77,8 @@ val create :
   ?loss:float ->
   ?dep_logging:bool ->
   ?recovery_partitions:int ->
+  ?timers:Camelot_sim.Engine.timers ->
+  ?lock_timeout_ms:float ->
   sites:int ->
   unit ->
   t

@@ -27,36 +27,41 @@ type t = {
   w_start : Camelot.Cluster.t -> txn list;
 }
 
-(* Run begin/writes/commit as an application fiber on the origin site;
-   a crash of that site kills it, as a real crash would kill the
-   application process. A participant dying mid-operation surfaces as
-   [Rpc_failure]; the application aborts, like the paper's §2 rule. *)
+(* The begin/writes/commit body shared by the fiber-per-transaction
+   workloads and the queue-sharded one. A participant dying
+   mid-operation surfaces as [Rpc_failure]; the application aborts,
+   like the paper's §2 rule. *)
+let txn_body c ~tm ~protocol ~origin ~writes ~tid_cell ~result () =
+  let tid = Tranman.begin_transaction tm in
+  tid_cell := Some tid;
+  match
+    List.iter
+      (fun (site, key, v) ->
+        ignore
+          (Camelot.Cluster.op c ~origin tid ~site (Data_server.Write (key, v))
+            : int))
+      writes
+  with
+  | () -> (
+      (* an Rpc_failure out of commit itself means our own site is
+         dying mid-call: the outcome is unknown, leave it unset *)
+      match Tranman.commit tm ~protocol tid with
+      | o -> result := Some o
+      | exception Camelot_mach.Rpc.Rpc_failure _ -> ())
+  | exception Camelot_mach.Rpc.Rpc_failure _ -> (
+      match Tranman.abort tm tid with
+      | () -> result := Some Protocol.Aborted
+      | exception Camelot_mach.Rpc.Rpc_failure _ -> ())
+
+(* Run the body as an application fiber on the origin site; a crash of
+   that site kills it, as a real crash would kill the application
+   process. *)
 let start_txn c ~label ~protocol ~origin ~writes =
   let tm = Camelot.Cluster.tranman c origin in
   let tid_cell = ref None and result = ref None in
   let node = Camelot.Cluster.node c origin in
   Camelot_mach.Site.spawn node.Camelot.Cluster.site ~name:("chaos-" ^ label)
-    (fun () ->
-      let tid = Tranman.begin_transaction tm in
-      tid_cell := Some tid;
-      match
-        List.iter
-          (fun (site, key, v) ->
-            ignore
-              (Camelot.Cluster.op c ~origin tid ~site (Data_server.Write (key, v))
-                : int))
-          writes
-      with
-      | () -> (
-          (* an Rpc_failure out of commit itself means our own site is
-             dying mid-call: the outcome is unknown, leave it unset *)
-          match Tranman.commit tm ~protocol tid with
-          | o -> result := Some o
-          | exception Camelot_mach.Rpc.Rpc_failure _ -> ())
-      | exception Camelot_mach.Rpc.Rpc_failure _ -> (
-          match Tranman.abort tm tid with
-          | () -> result := Some Protocol.Aborted
-          | exception Camelot_mach.Rpc.Rpc_failure _ -> ()));
+    (txn_body c ~tm ~protocol ~origin ~writes ~tid_cell ~result);
   {
     x_label = label;
     x_origin = origin;
@@ -151,6 +156,43 @@ let ckpt_2pc c =
   in
   [ t0; t1 ]
 
+(* The pair-2pc shape routed through queue-sharded dispatch instead of
+   fiber-per-transaction: each origin site gets a [Dispatch] whose
+   executors run the transactions, so injections land on the
+   [dispatch.shard.enqueue] admission point (a Drop there sheds the
+   transaction before it begins — the oracles must treat a
+   never-started transaction as trivially consistent) and crashes kill
+   executors mid-transaction rather than dedicated app fibers. *)
+let shard_2pc c =
+  let dispatch =
+    Array.init 2 (fun s ->
+        Camelot_mach.Dispatch.create ~shards:2
+          (Camelot.Cluster.node c s).Camelot.Cluster.site)
+  in
+  let submit ~label ~origin ~key ~writes =
+    let tm = Camelot.Cluster.tranman c origin in
+    let tid_cell = ref None and result = ref None in
+    ignore
+      (Camelot_mach.Dispatch.submit_key dispatch.(origin) ~key
+         (txn_body c ~tm ~protocol:Protocol.Two_phase ~origin ~writes ~tid_cell
+            ~result)
+        : bool);
+    {
+      x_label = label;
+      x_origin = origin;
+      x_writes = writes;
+      x_never = [];
+      x_tid = tid_cell;
+      x_result = result;
+    }
+  in
+  [
+    submit ~label:"q0" ~origin:0 ~key:0
+      ~writes:[ (0, "qa", 111); (1, "qb", 112) ];
+    submit ~label:"q1" ~origin:1 ~key:1
+      ~writes:[ (1, "qc", 121); (0, "qd", 122) ];
+  ]
+
 (* The Table-3 style mix: a purely local transaction, a two-phase pair
    and a non-blocking triple, concurrently on three sites. *)
 let mixed c =
@@ -177,6 +219,9 @@ let all =
     { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2;
       w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
       w_recovery_partitions = 1; w_start = nested };
+    { w_name = "shard-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = shard_2pc };
     { w_name = "mixed"; w_protocol = Protocol.Nonblocking; w_sites = 3;
       w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
       w_recovery_partitions = 1; w_start = mixed };

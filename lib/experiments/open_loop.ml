@@ -1,0 +1,282 @@
+(* Open-loop traffic rig: unlike the closed loop in [Throughput], where
+   a worker only offers its next transaction after the previous one
+   returns (so offered load self-throttles at saturation), here every
+   arrival is scheduled as its own engine timer up front — the offered
+   rate is fixed no matter how slow the system gets, which is the only
+   way to see latency tails grow and find the saturation knee.
+
+   One timer per arrival puts the engine in the many-pending-timers
+   regime, so runs default to the calendar-queue wheel backend
+   ([Engine.Wheel_timers] — bit-identical schedule, near-O(1) timer
+   ops). Arrivals land in each site's queue-sharded [Dispatch]: a fixed
+   executor population drains per-shard FIFO queues (Qadah's
+   queue-oriented model), so overload becomes queue depth and latency,
+   never a fiber-per-transaction explosion. Hot keys route to fixed
+   shards, and lock waits are bounded by [lock_timeout_ms]: transfers
+   caught in a deadlock or parked behind a hot key abort instead of
+   blocking forever, which is what makes the abort-rate-vs-load curve
+   (the Short-Commit question) measurable. *)
+
+open Camelot_sim
+open Camelot_core
+module Dispatch = Camelot_mach.Dispatch
+
+(* Arrival process, by offered rate in transactions/second. [Bursty]
+   keeps the same mean rate but releases arrivals [burst] at a time at
+   Poisson epochs — a crude on/off source that stresses queue depth. *)
+type arrival =
+  | Poisson of { rate_tps : float }
+  | Bursty of { rate_tps : float; burst : int }
+
+let offered_rate = function
+  | Poisson { rate_tps } | Bursty { rate_tps; _ } -> rate_tps
+
+(* Transaction mixes. [Debit_credit] is the TPC-style transfer pair —
+   two exclusive locks taken in draw order (deliberately unordered, so
+   hot-key cycles deadlock and resolve by timeout-abort); [Read_mostly]
+   is 90% single-key lookups. *)
+type mix = Debit_credit | Read_mostly
+
+(* One sampled transaction, as key ranks (rank 0 = hottest). *)
+type txn =
+  | Transfer of { debit : int; credit : int; remote : bool }
+      (** debit at the origin site, credit local or one site over *)
+  | Lookup of int
+  | Deposit of int
+
+let p_remote_transfer = 0.1
+let p_lookup = 0.9
+
+let sample_txn mix zipf rng =
+  match mix with
+  | Debit_credit ->
+      let debit = Rng.Zipf.draw zipf rng in
+      let credit = Rng.Zipf.draw zipf rng in
+      Transfer { debit; credit; remote = Rng.bool rng ~p:p_remote_transfer }
+  | Read_mostly ->
+      let k = Rng.Zipf.draw zipf rng in
+      if Rng.bool rng ~p:p_lookup then Lookup k else Deposit k
+
+(* Arrival instants in [0, horizon_ms), ascending. Pure function of the
+   rng stream, so generator tests can check the process in isolation. *)
+let arrival_times arrival ~rng ~horizon_ms =
+  if offered_rate arrival <= 0.0 then
+    invalid_arg "Open_loop.arrival_times: rate must be positive";
+  let out = ref [] in
+  let t = ref 0.0 in
+  (match arrival with
+  | Poisson { rate_tps } ->
+      let mean = 1000.0 /. rate_tps in
+      let rec loop () =
+        t := !t +. Rng.exponential rng ~mean;
+        if !t < horizon_ms then begin
+          out := !t :: !out;
+          loop ()
+        end
+      in
+      loop ()
+  | Bursty { rate_tps; burst } ->
+      if burst <= 0 then invalid_arg "Open_loop.arrival_times: burst must be positive";
+      let mean = 1000.0 *. float_of_int burst /. rate_tps in
+      let rec loop () =
+        t := !t +. Rng.exponential rng ~mean;
+        if !t < horizon_ms then begin
+          for _ = 1 to burst do
+            out := !t :: !out
+          done;
+          loop ()
+        end
+      in
+      loop ());
+  List.rev !out
+
+type point = {
+  offered_tps : float;
+  arrivals : int;
+  committed : int;
+  aborted : int;  (* lock-timeout and vetoed commits *)
+  backlog : int;  (* still queued or in flight when the horizon hit *)
+  completed_tps : float;  (* committed per second of virtual time *)
+  abort_rate : float;  (* aborted / (committed + aborted) *)
+  mean_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_shard_depth : int;
+}
+
+let key_name rank = Printf.sprintf "a%d" rank
+
+let run_one ?(seed = 17) ?(sites = 24) ?(mix = Debit_credit) ?(keys = 64)
+    ?(theta = 0.99) ?(shards_per_site = 4) ?(executors_per_shard = 4)
+    ?(lock_timeout_ms = 50.0) ?(timers = Engine.Wheel_timers) ~arrival
+    ~horizon_ms () =
+  let executors = shards_per_site * executors_per_shard in
+  let config = State.default_config ~threads:executors () in
+  let c =
+    Camelot.Cluster.create ~seed ~model:Camelot_mach.Cost_model.vax ~config
+      ~group_commit:true ~logger:Camelot.Cluster.Adaptive ~timers
+      ~lock_timeout_ms ~sites ()
+  in
+  let engine = Camelot.Cluster.engine c in
+  let dispatches =
+    Array.init sites (fun site ->
+        Dispatch.create ~shards:shards_per_site
+          ~executors_per_shard
+          (Camelot.Cluster.node c site).Camelot.Cluster.site)
+  in
+  let rng = Rng.create ~seed:(seed * 8191) in
+  let arrivals_rng = Rng.split rng in
+  let draw_rng = Rng.split rng in
+  let zipf = Rng.Zipf.create ~n:keys ~theta in
+  let lat = Stats.Tail.create () in
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let submitted = ref 0 in
+  (* the transaction body, run inside a dispatch executor fiber *)
+  let exec ~origin ~arrived txn =
+    let tm = Camelot.Cluster.tranman c origin in
+    let tid = Tranman.begin_transaction tm in
+    match
+      match txn with
+      | Lookup k ->
+          ignore
+            (Camelot.Cluster.op c ~origin tid ~site:origin
+               (Camelot_server.Data_server.Read (key_name k))
+              : int);
+          Tranman.commit tm tid
+      | Deposit k ->
+          ignore
+            (Camelot.Cluster.op c ~origin tid ~site:origin
+               (Camelot_server.Data_server.Add (key_name k, 1))
+              : int);
+          Tranman.commit tm tid
+      | Transfer { debit; credit; remote } ->
+          ignore
+            (Camelot.Cluster.op c ~origin tid ~site:origin
+               (Camelot_server.Data_server.Add (key_name debit, -1))
+              : int);
+          let credit_site = if remote then (origin + 1) mod sites else origin in
+          ignore
+            (Camelot.Cluster.op c ~origin tid ~site:credit_site
+               (Camelot_server.Data_server.Add (key_name credit, 1))
+              : int);
+          if credit_site = origin then Tranman.commit tm tid
+          else Tranman.commit tm ~protocol:Protocol.Two_phase tid
+    with
+    | Protocol.Committed ->
+        incr committed;
+        Stats.Tail.add lat (Fiber.now () -. arrived)
+    | Protocol.Aborted -> incr aborted
+    | exception Camelot_server.Data_server.Lock_timeout _ ->
+        (* bounded lock wait expired (hot-key convoy or deadlock):
+           abort and release whatever we hold *)
+        Tranman.abort tm tid;
+        incr aborted
+  in
+  (* one engine timer per arrival — the open loop itself *)
+  let times = arrival_times arrival ~rng:arrivals_rng ~horizon_ms in
+  let n_arrivals = List.length times in
+  List.iter
+    (fun time ->
+      Engine.schedule_at engine ~time (fun () ->
+          let origin = Rng.int_below draw_rng sites in
+          let txn = sample_txn mix zipf draw_rng in
+          let shard_key =
+            match txn with
+            | Transfer { debit; _ } | Lookup debit | Deposit debit -> debit
+          in
+          let arrived = Engine.now engine in
+          if
+            Dispatch.submit_key dispatches.(origin) ~key:shard_key (fun () ->
+                exec ~origin ~arrived txn)
+          then incr submitted))
+    times;
+  Camelot.Cluster.run ~until:horizon_ms c;
+  let done_ = !committed + !aborted in
+  let max_shard_depth =
+    Array.fold_left (fun acc d -> max acc (Dispatch.max_depth d)) 0 dispatches
+  in
+  {
+    offered_tps = offered_rate arrival;
+    arrivals = n_arrivals;
+    committed = !committed;
+    aborted = !aborted;
+    backlog = !submitted - done_;
+    completed_tps = float_of_int !committed /. (horizon_ms /. 1000.0);
+    abort_rate =
+      (if done_ = 0 then 0.0 else float_of_int !aborted /. float_of_int done_);
+    mean_ms = Stats.Tail.mean lat;
+    p50_ms = (if Stats.Tail.count lat = 0 then 0.0 else Stats.Tail.p50 lat);
+    p99_ms = (if Stats.Tail.count lat = 0 then 0.0 else Stats.Tail.p99 lat);
+    p999_ms = (if Stats.Tail.count lat = 0 then 0.0 else Stats.Tail.p999 lat);
+    max_shard_depth;
+  }
+
+(* Offered loads for the standard sweep: the low end is comfortably
+   under capacity, the high end far past the knee. *)
+let load_range = [ 100.0; 200.0; 400.0; 800.0; 1600.0 ]
+
+let sweep ?seed ?sites ?mix ?keys ?theta ?shards_per_site ?executors_per_shard
+    ?lock_timeout_ms ?(loads = load_range) ?(horizon_ms = 5_000.0) () =
+  List.map
+    (fun rate ->
+      run_one ?seed ?sites ?mix ?keys ?theta ?shards_per_site
+        ?executors_per_shard ?lock_timeout_ms
+        ~arrival:(Poisson { rate_tps = rate })
+        ~horizon_ms ())
+    loads
+
+(* The saturation knee: the first offered load that leaves more than
+   10% of its arrivals unfinished at the horizon. Below the knee the
+   backlog is only the end effect (arrivals within one mean latency of
+   the horizon, a few percent); past it the queues grow for the whole
+   run, so the unfinished fraction jumps. Abort rate can't be the
+   signal — hot-key deadlocks abort transactions at any load. *)
+let knee points =
+  List.find_opt
+    (fun p ->
+      p.arrivals > 0
+      && float_of_int p.backlog > 0.1 *. float_of_int p.arrivals)
+    points
+
+let pp_row p =
+  [
+    Printf.sprintf "%.0f" p.offered_tps;
+    Printf.sprintf "%.1f" p.completed_tps;
+    Printf.sprintf "%.1f%%" (100.0 *. p.abort_rate);
+    Printf.sprintf "%.1f" p.p50_ms;
+    Printf.sprintf "%.1f" p.p99_ms;
+    Printf.sprintf "%.1f" p.p999_ms;
+    string_of_int p.backlog;
+    string_of_int p.max_shard_depth;
+  ]
+
+let run ?sites ?mix ?loads ?horizon_ms () =
+  let points = sweep ?sites ?mix ?loads ?horizon_ms () in
+  Report.header
+    "Open loop: Poisson arrivals, Zipf(0.99) keys, queue-sharded execution \
+     (wheel timers)";
+  Report.table
+    ~columns:
+      [
+        "OFFERED TPS";
+        "DONE TPS";
+        "ABORT%";
+        "p50 ms";
+        "p99 ms";
+        "p999 ms";
+        "BACKLOG";
+        "MAXQ";
+      ]
+    (List.map pp_row points);
+  (match knee points with
+  | Some p ->
+      Printf.printf
+        "Saturation knee at %.0f offered tps: completions fall behind the \
+         open-loop arrivals and the backlog grows without bound.\n"
+        p.offered_tps
+  | None ->
+      print_endline
+        "No saturation knee in this range: completions track offered load.");
+  points

@@ -1,0 +1,138 @@
+open Camelot_sim
+
+(* Queue-sharded execution (after Qadah's queue-oriented transaction
+   processing): incoming work is routed by key into per-shard queues,
+   each drained by a small fixed set of executor fibers, instead of
+   spawning one fiber per in-flight transaction. Under open-loop
+   arrival the in-flight population is unbounded; here the fiber
+   population is [shards * executors_per_shard] no matter the offered
+   load — queueing shows up as latency (and, past the knee, as
+   load-shedding at the fault point), never as fiber explosion.
+
+   Executors block on their shard exactly like mailbox receivers: a
+   ring of pending resumers, dead entries skipped at delivery. *)
+
+let fp_enqueue = Camelot_chaos.register ~kind:Choice "dispatch.shard.enqueue"
+
+type policy = Fifo | Priority
+
+type job = unit -> unit
+
+type shard = {
+  fifo : job Ring.t;  (* Fifo policy *)
+  pq : job Heap.t;  (* Priority policy: min priority first *)
+  waiters : job Fiber.resumer Ring.t;  (* idle executors *)
+}
+
+type t = {
+  site : Site.t;
+  policy : policy;
+  shards : shard array;
+  executors_per_shard : int;
+  mutable seq : int;  (* tiebreak for equal priorities *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable max_depth : int;
+}
+
+let[@inline] shard_depth t s =
+  match t.policy with Fifo -> Ring.length s.fifo | Priority -> Heap.length s.pq
+
+let rec next_waiter s =
+  match Ring.pop_opt s.waiters with
+  | None -> None
+  | Some r -> if Fiber.is_pending r then Some r else next_waiter s
+
+let take t s =
+  match t.policy with
+  | Fifo -> Ring.pop_opt s.fifo
+  | Priority -> Heap.pop s.pq
+
+let run_job t job =
+  job ();
+  t.completed <- t.completed + 1
+
+let executor_loop t s () =
+  while true do
+    match take t s with
+    | Some job -> run_job t job
+    | None ->
+        let job = Fiber.suspend (fun r -> Ring.push s.waiters r) in
+        run_job t job
+  done
+
+let spawn_executors t =
+  Array.iteri
+    (fun i s ->
+      for e = 0 to t.executors_per_shard - 1 do
+        Site.spawn t.site
+          ~name:(Printf.sprintf "dispatch-%d.%d" i e)
+          (executor_loop t s)
+      done)
+    t.shards
+
+let create ?(policy = Fifo) ?(shards = 4) ?(executors_per_shard = 1) site =
+  if shards <= 0 then invalid_arg "Dispatch.create: shards must be positive";
+  if executors_per_shard <= 0 then
+    invalid_arg "Dispatch.create: executors_per_shard must be positive";
+  let t =
+    {
+      site;
+      policy;
+      shards =
+        Array.init shards (fun _ ->
+            { fifo = Ring.create (); pq = Heap.create (); waiters = Ring.create () });
+      executors_per_shard;
+      seq = 0;
+      submitted = 0;
+      completed = 0;
+      shed = 0;
+      max_depth = 0;
+    }
+  in
+  spawn_executors t;
+  (* a crash kills the executors with the rest of the incarnation;
+     restart re-staffs the shards (queued jobs survive in the queues —
+     whether they can still do useful work is the job's problem) *)
+  Site.on_restart site (fun () -> spawn_executors t);
+  t
+
+let shards t = Array.length t.shards
+
+(* Fibonacci-hash the key so adjacent hot keys spread across shards. *)
+let shard_of_key t key =
+  (key * 0x9E3779B97F4A7C1 land max_int) mod Array.length t.shards
+
+let submit t ?(priority = 0.0) ~shard job =
+  if Camelot_chaos.deny ~site:(Site.id t.site) fp_enqueue then begin
+    t.shed <- t.shed + 1;
+    false
+  end
+  else begin
+    let s = t.shards.(shard) in
+    t.submitted <- t.submitted + 1;
+    (match next_waiter s with
+    | Some r -> Fiber.resume r (Ok job)
+    | None -> (
+        match t.policy with
+        | Fifo -> Ring.push s.fifo job
+        | Priority ->
+            let seq = t.seq in
+            t.seq <- seq + 1;
+            Heap.push s.pq ~priority ~seq job));
+    let d = shard_depth t s in
+    if d > t.max_depth then t.max_depth <- d;
+    true
+  end
+
+let submit_key t ?priority ~key job =
+  submit t ?priority ~shard:(shard_of_key t key) job
+
+let depth t =
+  Array.fold_left (fun acc s -> acc + shard_depth t s) 0 t.shards
+
+let submitted t = t.submitted
+let completed t = t.completed
+let shed t = t.shed
+let max_depth t = t.max_depth

@@ -1,0 +1,59 @@
+(** Queue-sharded execution for a site (Qadah's queue-oriented
+    paradigm): work routed by key into per-shard queues, drained by a
+    bounded set of executor fibers.
+
+    Where the closed-loop rig spawns one worker fiber per in-flight
+    transaction, a dispatcher keeps the fiber population fixed at
+    [shards * executors_per_shard] regardless of offered load —
+    open-loop overload turns into queue depth (visible as latency) and,
+    when the chaos explorer denies the [dispatch.shard.enqueue] fault
+    point, into explicit load-shedding, never into a fiber explosion.
+
+    Executors run in the site's fiber group: a crash kills them with
+    the incarnation, a restart re-staffs the shards automatically. *)
+
+type policy =
+  | Fifo  (** arrival order per shard *)
+  | Priority  (** lowest [priority] first per shard, FIFO on ties *)
+
+type job = unit -> unit
+
+type t
+
+(** [create site] builds a dispatcher and spawns its executors into
+    [site]'s current fiber group (default 4 shards, 1 executor each —
+    one executor per shard gives serial per-shard execution, the
+    queue-oriented determinism guarantee). *)
+val create : ?policy:policy -> ?shards:int -> ?executors_per_shard:int -> Site.t -> t
+
+val shards : t -> int
+
+(** Deterministic key → shard routing (Fibonacci hashing, so
+    consecutive hot keys spread across shards). *)
+val shard_of_key : t -> int -> int
+
+(** [submit t ~shard job] enqueues [job] on [shard] (or hands it
+    straight to an idle executor). Returns [false] — job dropped, shed
+    counter bumped — iff the [dispatch.shard.enqueue] fault point
+    denies admission; always [true] outside chaos runs.
+    @param priority ordering key under [Priority] policy (ignored under
+    [Fifo]); lower runs sooner. Default 0. *)
+val submit : t -> ?priority:float -> shard:int -> job -> bool
+
+(** [submit_key t ~key job] is [submit] to [shard_of_key t key]. *)
+val submit_key : t -> ?priority:float -> key:int -> job -> bool
+
+(** Jobs currently queued (excluding any running in executors). *)
+val depth : t -> int
+
+(** Jobs admitted so far (shed ones excluded). *)
+val submitted : t -> int
+
+(** Jobs finished so far. *)
+val completed : t -> int
+
+(** Jobs dropped by the [dispatch.shard.enqueue] fault point. *)
+val shed : t -> int
+
+(** High-water mark of any single shard's queue depth. *)
+val max_depth : t -> int

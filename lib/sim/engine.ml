@@ -1,26 +1,45 @@
 (* The event queue is split into two lanes:
 
-   - timed events go through the 4-ary [Heap], keyed by
-     [(time, sequence)];
+   - timed events go through a time-ordered queue keyed by
+     [(time, sequence)] — the 4-ary [Heap] by default, or the
+     calendar-queue [Wheel] when the engine is created with
+     [~timers:Wheel_timers] (same order, near-O(1) in the
+     millions-of-pending-timers regime);
    - same-instant events ([delay = 0] — every [Fiber.yield], every
      resumption routed through the queue) go through a flat FIFO ring
-     and never touch the heap.
+     and never touch the timed queue.
 
    Ring entries always carry the current virtual time: the clock only
-   advances by executing a heap event, and a heap event is only chosen
-   while the ring is non-empty if it is an *older* same-instant event
-   (smaller sequence number at the same time). Interleaving the two
-   lanes by [(time, seq)] therefore reproduces exactly the order a
-   single heap would give — determinism is preserved bit-for-bit.
+   advances by executing a timed event, and a timed event is only
+   chosen while the ring is non-empty if it is an *older* same-instant
+   event (smaller sequence number at the same time). Interleaving the
+   two lanes by [(time, seq)] therefore reproduces exactly the order a
+   single heap would give — determinism is preserved bit-for-bit, and
+   both timer backends replay the identical schedule.
 
    Timers ([schedule_timer]) support cancellation by lazy deletion:
    cancelling drops the callback immediately (captured state becomes
    collectable) and leaves a small tombstone in the queue that is
-   discarded, not executed, when it surfaces. *)
+   discarded, not executed, when it surfaces.
+
+   Pending-count invariant: [dead] counts exactly the cancelled timers
+   whose tombstones are still buried in either lane — cancellation
+   increments it, draining a tombstone decrements it, and nothing else
+   touches it (a timer that already fired flips [live] first, so a
+   late cancel cannot re-increment). Hence
+   [pending = queue + ring - dead] never counts a cancelled timer,
+   even while its tombstone is still queued. *)
 
 type timer = { mutable live : bool; mutable fn : unit -> unit }
 
 type event = Call of (unit -> unit) | Timer of timer
+
+type timers = Heap_timers | Wheel_timers
+
+(* The timed lane: one of the two interchangeable backends. A closed
+   variant (not a record of closures) so the default heap path costs
+   one branch, no indirect call. *)
+type queue = Qheap of event Heap.t | Qwheel of event Wheel.t
 
 let noop () = ()
 
@@ -32,7 +51,7 @@ type t = {
   mutable seq : int;
   mutable executed : int;
   mutable dead : int; (* cancelled timers still buried in the queue *)
-  queue : event Heap.t;
+  queue : queue;
   (* same-instant FIFO lane: parallel circular buffers, power-of-two
      capacity, [ring_seq] holding each event's global sequence number *)
   mutable ring : event array;
@@ -41,13 +60,16 @@ type t = {
   mutable len : int;
 }
 
-let create () =
+let create ?(timers = Heap_timers) () =
   {
     now = 0.0;
     seq = 0;
     executed = 0;
     dead = 0;
-    queue = Heap.create ();
+    queue =
+      (match timers with
+      | Heap_timers -> Qheap (Heap.create ())
+      | Wheel_timers -> Qwheel (Wheel.create ()));
     ring = [||];
     ring_seq = [||];
     head = 0;
@@ -55,6 +77,31 @@ let create () =
   }
 
 let now t = t.now
+
+let[@inline] q_is_empty = function
+  | Qheap h -> Heap.is_empty h
+  | Qwheel w -> Wheel.is_empty w
+
+let[@inline] q_length = function
+  | Qheap h -> Heap.length h
+  | Qwheel w -> Wheel.length w
+
+let[@inline] q_min_priority = function
+  | Qheap h -> Heap.min_priority h
+  | Qwheel w -> Wheel.min_priority w
+
+let[@inline] q_min_seq = function
+  | Qheap h -> Heap.min_seq h
+  | Qwheel w -> Wheel.min_seq w
+
+let[@inline] q_pop_exn = function
+  | Qheap h -> Heap.pop_exn h
+  | Qwheel w -> Wheel.pop_exn w
+
+let[@inline] q_push q ~priority ~seq ev =
+  match q with
+  | Qheap h -> Heap.push h ~priority ~seq ev
+  | Qwheel w -> Wheel.push w ~priority ~seq ev
 
 let ring_push t seq ev =
   let cap = Array.length t.ring in
@@ -87,7 +134,7 @@ let push_event t ~time ev =
   let seq = t.seq in
   t.seq <- seq + 1;
   if time <= t.now then ring_push t seq ev
-  else Heap.push t.queue ~priority:time ~seq ev
+  else q_push t.queue ~priority:time ~seq ev
 
 let schedule_at t ~time f = push_event t ~time (Call f)
 
@@ -116,16 +163,16 @@ let fire t tm =
   f ()
 
 (* Execute the next live event no later than [limit]. The next event is
-   the minimum of the heap top and the ring head by [(time, seq)]; ring
-   entries sit at the current time. *)
+   the minimum of the queue front and the ring head by [(time, seq)];
+   ring entries sit at the current time. *)
 let rec exec_next t ~limit =
   if t.len > 0 then begin
     let heap_first =
-      (not (Heap.is_empty t.queue))
+      (not (q_is_empty t.queue))
       &&
-      let hp = Heap.min_priority t.queue in
+      let hp = q_min_priority t.queue in
       hp < t.now
-      || (hp = t.now && Heap.min_seq t.queue < t.ring_seq.(t.head))
+      || (hp = t.now && q_min_seq t.queue < t.ring_seq.(t.head))
     in
     if heap_first then exec_heap t ~limit
     else if t.now > limit then false
@@ -145,14 +192,14 @@ let rec exec_next t ~limit =
             exec_next t ~limit
           end
   end
-  else if not (Heap.is_empty t.queue) then exec_heap t ~limit
+  else if not (q_is_empty t.queue) then exec_heap t ~limit
   else false
 
 and exec_heap t ~limit =
-  let time = Heap.min_priority t.queue in
+  let time = q_min_priority t.queue in
   if time > limit then false
   else
-    match Heap.pop_exn t.queue with
+    match q_pop_exn t.queue with
     | Call f ->
         t.now <- time;
         t.executed <- t.executed + 1;
@@ -178,6 +225,6 @@ let run ?until t =
   done;
   match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
 
-let pending t = Heap.length t.queue + t.len - t.dead
+let pending t = q_length t.queue + t.len - t.dead
 
 let executed t = t.executed

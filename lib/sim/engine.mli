@@ -8,8 +8,16 @@
 
 type t
 
+(** Backend for the timed-event queue. [Heap_timers] (the default) is
+    the monolithic SoA 4-ary heap; [Wheel_timers] is the bucketed
+    calendar queue ({!Wheel}), near-O(1) per operation in the
+    millions-of-pending-timers regime. Both produce the exact same
+    [(time, seq)] execution order, so runs are bit-identical across
+    backends; the default keeps the paper reproduction untouched. *)
+type timers = Heap_timers | Wheel_timers
+
 (** [create ()] is a fresh engine with the clock at 0.0 ms. *)
-val create : unit -> t
+val create : ?timers:timers -> unit -> t
 
 (** Current virtual time, in milliseconds. *)
 val now : t -> float
@@ -41,7 +49,11 @@ val run : ?until:float -> t -> unit
     queue was empty. *)
 val step : t -> bool
 
-(** Number of events waiting in the queue. *)
+(** Number of live events waiting in the queue. Cancelled timers whose
+    tombstones have not yet drained are excluded: the engine maintains
+    [pending = queued slots - cancelled-but-undrained tombstones], so
+    the count never inflates no matter how many timers are armed and
+    cancelled without firing. *)
 val pending : t -> int
 
 (** Total number of events executed so far. *)

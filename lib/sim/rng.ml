@@ -51,3 +51,37 @@ let shuffle t arr =
     arr.(i) <- arr.(j);
     arr.(j) <- tmp
   done
+
+module Zipf = struct
+  (* Zipf(theta) over ranks 0..n-1: P(rank = i) proportional to
+     1 / (i+1)^theta. Sampling inverts the precomputed CDF by binary
+     search — O(log n) per draw, exact distribution, no rejection. *)
+  type nonrec t = { cdf : float array }
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Rng.Zipf.create: n must be positive";
+    if theta < 0.0 then invalid_arg "Rng.Zipf.create: negative theta";
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (i + 1) ** theta));
+      cdf.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    { cdf }
+
+  let size t = Array.length t.cdf
+
+  let draw t rng =
+    let u = uniform rng in
+    (* smallest i with cdf.(i) > u *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end

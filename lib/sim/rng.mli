@@ -32,3 +32,21 @@ val gaussian : t -> mu:float -> sigma:float -> float
 
 (** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
 val shuffle : t -> 'a array -> unit
+
+(** Zipfian rank sampler for hot-key contention: rank 0 is the hottest
+    key, with [P(rank = i)] proportional to [1/(i+1)^theta]. *)
+module Zipf : sig
+  type rng := t
+  type t
+
+  (** [create ~n ~theta] precomputes the CDF over ranks [0..n-1].
+      [theta = 0] degenerates to uniform; the classic YCSB-style
+      skew is [theta ~ 0.99]. *)
+  val create : n:int -> theta:float -> t
+
+  (** Number of ranks. *)
+  val size : t -> int
+
+  (** Draw a rank in [\[0, n)] — O(log n) binary search on the CDF. *)
+  val draw : t -> rng -> int
+end

@@ -211,6 +211,96 @@ let test_rpc_server_crash_mid_call () =
   in
   Alcotest.(check bool) "fails when server dies mid-call" true failed
 
+(* ------------------------------------------------------------------ *)
+(* Queue-sharded dispatch *)
+
+let test_dispatch_fifo_order () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let d = Dispatch.create ~shards:1 site in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Dispatch.submit d ~shard:0 (fun () -> order := i :: !order) : bool)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO per shard" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_dispatch_priority_order () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let d = Dispatch.create ~policy:Dispatch.Priority ~shards:1 site in
+  let order = ref [] in
+  List.iter
+    (fun (p, i) ->
+      ignore (Dispatch.submit d ~priority:p ~shard:0 (fun () -> order := i :: !order) : bool))
+    [ (3.0, 3); (1.0, 1); (2.0, 2); (1.0, 11) ];
+  Engine.run eng;
+  Alcotest.(check (list int)) "lowest priority first, FIFO on ties"
+    [ 1; 11; 2; 3 ] (List.rev !order)
+
+let test_dispatch_bounded_executors () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let d = Dispatch.create ~shards:1 ~executors_per_shard:2 site in
+  let active = ref 0 and peak = ref 0 and finish = ref 0.0 in
+  for _ = 1 to 6 do
+    ignore
+      (Dispatch.submit d ~shard:0 (fun () ->
+           incr active;
+           if !active > !peak then peak := !active;
+           Fiber.sleep 10.0;
+           decr active;
+           finish := Float.max !finish (Fiber.now ()))
+        : bool)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "at most 2 concurrent" 2 !peak;
+  (* 6 sleeps of 10ms through 2 executors: three serial waves *)
+  check_float "fixed population drains in waves" 30.0 !finish;
+  Alcotest.(check int) "all submitted" 6 (Dispatch.submitted d);
+  Alcotest.(check int) "all completed" 6 (Dispatch.completed d);
+  Alcotest.(check int) "nothing shed" 0 (Dispatch.shed d);
+  Alcotest.(check int) "queues drained" 0 (Dispatch.depth d);
+  Alcotest.(check bool) "high-water mark saw the queue" true
+    (Dispatch.max_depth d >= 4)
+
+let test_dispatch_shard_routing () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let d = Dispatch.create ~shards:4 site in
+  Alcotest.(check int) "shard count" 4 (Dispatch.shards d);
+  let hit = Array.make 4 0 in
+  for key = 0 to 255 do
+    let s = Dispatch.shard_of_key d key in
+    Alcotest.(check bool) "shard in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "routing deterministic" s (Dispatch.shard_of_key d key);
+    hit.(s) <- hit.(s) + 1
+  done;
+  (* Fibonacci hashing spreads consecutive keys: no shard starves *)
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d used" i) true (n > 0))
+    hit
+
+let test_dispatch_respawns_after_restart () =
+  let eng = Engine.create () in
+  let site = make_site eng in
+  let d = Dispatch.create ~shards:1 site in
+  let done_a = ref false and done_b = ref false in
+  ignore
+    (Dispatch.submit d ~shard:0 (fun () ->
+         Fiber.sleep 50.0;
+         done_a := true)
+      : bool);
+  ignore (Dispatch.submit d ~shard:0 (fun () -> done_b := true) : bool);
+  (* crash mid-job A: the executor dies with the incarnation; restart
+     re-staffs the shard and the new executor drains the queued B *)
+  Engine.schedule eng ~delay:10.0 (fun () -> Site.crash site);
+  Engine.schedule eng ~delay:20.0 (fun () -> Site.restart site);
+  Engine.run eng;
+  Alcotest.(check bool) "in-flight job died with the site" false !done_a;
+  Alcotest.(check bool) "queued job drained after restart" true !done_b
+
 let () =
   Alcotest.run "camelot_mach"
     [
@@ -242,5 +332,15 @@ let () =
           Alcotest.test_case "per-leg accounting" `Quick test_rpc_accounting_sums;
           Alcotest.test_case "dead callee fails" `Quick test_rpc_to_dead_site_fails;
           Alcotest.test_case "mid-call crash fails" `Quick test_rpc_server_crash_mid_call;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "FIFO order per shard" `Quick test_dispatch_fifo_order;
+          Alcotest.test_case "priority ordering" `Quick test_dispatch_priority_order;
+          Alcotest.test_case "bounded executor population" `Quick
+            test_dispatch_bounded_executors;
+          Alcotest.test_case "shard routing" `Quick test_dispatch_shard_routing;
+          Alcotest.test_case "restart re-staffs executors" `Quick
+            test_dispatch_respawns_after_restart;
         ] );
     ]
