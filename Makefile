@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-compare chaos-smoke fmt-check
+.PHONY: build test check bench bench-smoke bench-compare chaos-smoke chaos-deep fmt-check
 
 build:
 	dune build
@@ -17,6 +17,15 @@ check: build test bench-smoke bench-compare chaos-smoke
 # on any oracle violation or uncovered fault point.
 chaos-smoke:
 	dune exec bin/camelot_sim.exe -- chaos --budget 1200 --seed 42
+
+# Deep coverage-guided fuzzing pass (~2 min): 100k schedules mutated
+# from a persistent corpus under CHAOS_CORPUS (reused across runs, so
+# later sessions start from everything earlier ones found). Not part
+# of `make check` — run it before protocol-touching changes land.
+CHAOS_CORPUS ?= _chaos_corpus
+chaos-deep:
+	dune exec bin/camelot_sim.exe -- chaos --fuzz --budget 100000 --seed 42 \
+		--corpus $(CHAOS_CORPUS)
 
 bench:
 	dune exec bench/main.exe

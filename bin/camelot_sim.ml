@@ -67,7 +67,25 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "inject-bug" ] ~doc)
   in
-  let run budget seed schedule workload inject_bug () =
+  let fuzz =
+    let doc =
+      "Coverage-guided fuzzing instead of enumerate+random: schedules that \
+       grow (fault-point x hit x phase) tuple coverage enter a corpus and \
+       are mutated preferentially."
+    in
+    Arg.(value & flag & info [ "fuzz" ] ~doc)
+  in
+  let corpus =
+    let doc =
+      "Corpus directory for --fuzz: interesting schedules are persisted here \
+       and reloaded on the next run. Defaults to $(b,CAMELOT_CORPUS) if set."
+    in
+    Arg.(
+      value
+      & opt (some string) (Sys.getenv_opt "CAMELOT_CORPUS")
+      & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let run budget seed schedule workload inject_bug fuzz corpus () =
     let open Camelot_chaos_explorer in
     let mutate_config c =
       if inject_bug then c.Camelot_core.State.unsafe_skip_prepare_force <- true
@@ -80,6 +98,9 @@ let chaos_cmd =
             exit 2
         | Some s ->
             let r = Explorer.run_schedule ~mutate_config s in
+            Printf.printf "chaos: coverage %d tuples, signature %s\n"
+              (List.length r.Explorer.rr_tuples)
+              (Camelot_chaos_explorer.Coverage.short r.Explorer.rr_signature);
             if r.Explorer.rr_violations = [] then
               print_endline ("chaos: clean run: " ^ Schedule.to_string s)
             else begin
@@ -94,7 +115,13 @@ let chaos_cmd =
         let progress n total =
           if n mod 100 = 0 then Printf.eprintf "chaos: %d/%d schedules\n%!" n total
         in
-        let r = Explorer.explore ~mutate_config ~budget ~seed ?workloads ~progress () in
+        let r =
+          if fuzz then
+            Explorer.fuzz ~mutate_config ~budget ~seed ?corpus_dir:corpus
+              ?workloads ~progress ()
+          else
+            Explorer.explore ~mutate_config ~budget ~seed ?workloads ~progress ()
+        in
         Format.printf "%a" Explorer.pp_report r;
         if inject_bug then begin
           (* inverted mode: the run succeeds iff the bug is caught *)
@@ -109,10 +136,27 @@ let chaos_cmd =
           print_endline "chaos: some registered fault points were never exercised";
           exit 1
         end
+        else if
+          (* the default pool must include at least one multi-shot run,
+             so cross-transaction recovery states stay exercised *)
+          workload = None
+          && not
+               (List.exists
+                  (fun (name, n) ->
+                    String.length name >= 9
+                    && String.sub name 0 9 = "multishot"
+                    && n > 0)
+                  r.Explorer.rp_workload_runs)
+        then begin
+          print_endline "chaos: no multi-shot schedule was run";
+          exit 1
+        end
   in
   experiment "chaos"
-    "Deterministic fault-schedule explorer with atomicity/durability oracles."
-    Term.(const run $ budget $ seed $ schedule $ workload $ inject_bug $ const ())
+    "Deterministic fault-schedule explorer/fuzzer with AC1-AC5 oracles."
+    Term.(
+      const run $ budget $ seed $ schedule $ workload $ inject_bug $ fuzz
+      $ corpus $ const ())
 
 let cmds =
   [

@@ -171,14 +171,24 @@ let op t ~origin tid ~site:site_id ?(index = 0) o =
   else
     Comm.call_remote ~origin:origin_tm ~tid
       ~server_site:(node t site_id).site (fun () ->
-        Camelot_server.Data_server.execute srv tid o)
+        try Camelot_server.Data_server.execute srv tid o
+        with Camelot_lock.Lock_table.Broken ->
+          (* server crashed while we waited for a lock: the connection
+             breaks like any other mid-call failure *)
+          Fiber.sleep Rpc.rpc_timeout_ms;
+          raise
+            (Rpc.Rpc_failure
+               { callee = site_id; reason = "server crashed during lock wait" }))
 
 let checkpoint ?truncate t i = checkpoint_node ?truncate (node t i)
 
 let crash_site t i =
   let n = node t i in
   Site.crash n.site;
-  Camelot_wal.Log.crash n.log
+  Camelot_wal.Log.crash n.log;
+  (* remote callers blocked in this site's lock tables run on their own
+     sites' fibers, so the group kill above does not reach them *)
+  List.iter Camelot_server.Data_server.break_waiters n.servers
 
 let restart_site t i =
   let n = node t i in

@@ -12,11 +12,23 @@
    4. the durability hammer — crash every site, restart, re-resolve —
       so only log-backed state survives into the oracles.
 
-   Exploration enumerates one-injection schedules from a counting run
-   (which records how often each fault point fires per site), then
-   fills the remaining budget with seeded random two-injection
-   schedules. Failing schedules are greedily shrunk to a minimal
-   replayable token. *)
+   Every run additionally records its {!Coverage} tuples — what the
+   schedule *reached*, as (fault-point × hit-index × phase) — and
+   their canonical signature.
+
+   Two search modes share the machinery:
+
+   - {!explore}: enumerate one-injection schedules from a counting run
+     (which records how often each fault point fires per site), then
+     fill the remaining budget with seeded random two-injection
+     schedules;
+   - {!fuzz}: coverage-guided — schedules that grow the global tuple
+     set enter a {!Corpus} (optionally persisted and reloaded across
+     sessions), and the budget is spent mutating corpus members with
+     {!Mutate}, preferring recent coverage growers.
+
+   Failing schedules are greedily shrunk to a minimal replayable
+   token in both modes. *)
 
 open Camelot_core
 
@@ -24,6 +36,9 @@ type run_result = {
   rr_schedule : Schedule.t;
   rr_violations : Oracle.violation list;
   rr_hits : ((string * int) * int) list;  (* (point, site) -> hit count *)
+  rr_tuples : Coverage.tuple list;  (* distinct, sorted *)
+  rr_signature : string;  (* canonical coverage signature *)
+  rr_txns : Workload.txn list;
 }
 
 type failure = {
@@ -37,6 +52,11 @@ type report = {
   rp_failures : failure list;
   rp_coverage : (string * int) list;  (* point -> total hits, all runs *)
   rp_missing : string list;  (* registered points never hit *)
+  rp_tuples : int;  (* distinct coverage tuples over all runs *)
+  rp_workload_runs : (string * int) list;  (* workload -> runs *)
+  rp_corpus : int;  (* corpus entries (fuzz mode; 0 otherwise) *)
+  rp_last_new : int;  (* run index that last grew coverage *)
+  rp_growth : (int * int) list;  (* (runs, tuples) curve samples *)
 }
 
 (* Same noise-free model the test suites use (testutil is not a
@@ -83,6 +103,17 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
   Camelot.Cluster.each_config c mutate_config;
   let sites = w.Workload.w_sites in
   let hits : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let tuples : (Coverage.tuple, unit) Hashtbl.t = Hashtbl.create 64 in
+  let phase = ref Coverage.Workload in
+  (* CHAOS_TRACE=1 prints every hit during a replay — the fastest way
+     to see what a failing token actually did *)
+  let trace = Sys.getenv_opt "CHAOS_TRACE" <> None in
+  let phase_char () =
+    match !phase with
+    | Coverage.Workload -> 'w'
+    | Coverage.Recover -> 'r'
+    | Coverage.Hammer -> 'h'
+  in
   let injections = Array.of_list s.Schedule.s_injections in
   let fired = Array.make (Array.length injections) false in
   let crashed_ever = Array.make sites false in
@@ -90,6 +121,10 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
     let k = (point, site) in
     let n = Option.value ~default:0 (Hashtbl.find_opt hits k) + 1 in
     Hashtbl.replace hits k n;
+    Hashtbl.replace tuples (Coverage.tuple ~point ~hit:n ~phase:!phase) ();
+    if trace then
+      Printf.eprintf "[trace] %8.0fms %c %s/%d#%d\n%!"
+        (Camelot_sim.Fiber.now ()) (phase_char ()) point site n;
     let action = ref Camelot_chaos.Pass in
     Array.iteri
       (fun i (inj : Schedule.injection) ->
@@ -100,6 +135,10 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
           && inj.Schedule.i_hit = n
         then begin
           fired.(i) <- true;
+          if trace then
+            Printf.eprintf "[trace] %8.0fms %c FIRE %s\n%!"
+              (Camelot_sim.Fiber.now ()) (phase_char ())
+              (Schedule.injection_to_string inj);
           match inj.Schedule.i_fault with
           | Schedule.Drop -> action := Camelot_chaos.Deny
           | Schedule.Crash -> action := Camelot_chaos.Kill
@@ -116,6 +155,9 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
   in
   let crash ~site =
     crashed_ever.(site) <- true;
+    if trace then
+      Printf.eprintf "[trace] %8.0fms %c CRASH site %d\n%!"
+        (Camelot_sim.Fiber.now ()) (phase_char ()) site;
     let node = Camelot.Cluster.node c site in
     if Camelot_mach.Site.alive node.Camelot.Cluster.site then
       Camelot.Cluster.crash_site c site
@@ -138,8 +180,8 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
               if attempt < 6 then go (attempt + 1)
               else
                 violations :=
-                  Oracle.v "liveness" "site %d failed to recover after %d attempts"
-                    i attempt
+                  Oracle.ac5 "site %d failed to recover after %d attempts" i
+                    attempt
                   :: !violations
         in
         go 1
@@ -158,11 +200,13 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
     loop ()
   in
   Camelot_chaos.attach ~on_hit ~crash;
+  let txns_cell = ref [] in
   Fun.protect ~finally:Camelot_chaos.detach (fun () ->
       Camelot_sim.Fiber.run (Camelot.Cluster.engine c) (fun () ->
-          (* phase 1: the workload, until every transaction resolved or
-             its application fiber died with its site *)
+          (* phase 1: the workload, until every transaction resolved,
+             skipped, or dead with its crashed site *)
           let txns = w.Workload.w_start c in
+          txns_cell := txns;
           ignore
             (poll_until
                ~deadline:(Camelot_sim.Fiber.now () +. 6000.0)
@@ -171,16 +215,22 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
                  List.for_all
                    (fun (t : Workload.txn) ->
                      !(t.Workload.x_result) <> None
-                     || crashed_ever.(t.Workload.x_origin))
+                     || crashed_ever.(t.Workload.x_origin)
+                     || !(t.Workload.x_skipped))
                    txns)
               : bool);
           (* phases 2+3: heal, restart, resolve everywhere *)
+          phase := Coverage.Recover;
           let resolved_everywhere () =
             List.for_all (fun i -> alive i) (List.init sites Fun.id)
             && List.for_all
                  (fun (t : Workload.txn) ->
                    match !(t.Workload.x_tid) with
-                   | None -> true
+                   | None ->
+                       (* a deferred shot whose controller has neither
+                          started nor skipped it is still pending *)
+                       (not t.Workload.x_deferred)
+                       || !(t.Workload.x_skipped)
                    | Some tid ->
                        List.for_all
                          (fun i ->
@@ -224,8 +274,7 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
                   txns
               in
               violations :=
-                Oracle.v "liveness" "%s: unresolved after %.0fms: %s" phase
-                  deadline_ms
+                Oracle.ac5 "%s: unresolved after %.0fms: %s" phase deadline_ms
                   (String.concat ", " stuck)
                 :: !violations
             end;
@@ -235,6 +284,7 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
           Camelot_sim.Fiber.sleep 500.0;
           (* phase 4: durability hammer — only log-backed state survives *)
           if settled then begin
+            phase := Coverage.Hammer;
             for i = 0 to sites - 1 do
               if alive i then Camelot.Cluster.crash_site c i
             done;
@@ -242,11 +292,17 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
             ignore (resolve ~deadline_ms:10_000.0 ~phase:"post-hammer" : bool);
             Camelot_sim.Fiber.sleep 500.0
           end;
-          violations := !violations @ Oracle.check c txns));
+          let fault_free = not (Array.exists Fun.id fired) in
+          violations := !violations @ Oracle.check ~fault_free c txns));
+  let tuple_list = Hashtbl.fold (fun t () acc -> t :: acc) tuples [] in
+  let tuple_list = List.sort_uniq Coverage.compare_tuple tuple_list in
   {
     rr_schedule = s;
     rr_violations = !violations;
     rr_hits = Hashtbl.fold (fun k n acc -> (k, n) :: acc) hits [];
+    rr_tuples = tuple_list;
+    rr_signature = Coverage.signature tuple_list;
+    rr_txns = !txns_cell;
   }
 
 (* --- shrinking ---------------------------------------------------- *)
@@ -299,15 +355,8 @@ let shrink ?mutate_config ?run (s : Schedule.t) =
 
 (* --- enumeration -------------------------------------------------- *)
 
-(* How many of a point's observed hits the single-injection sweep
-   covers. Step points fire a handful of times; the two Choice points
-   fire on every datagram / disk write, so cap them. *)
-let hit_cap = function
-  | "net.datagram" -> 12
-  | "wal.force.torn" -> 6
-  | "wal.daemon.batch" -> 4  (* fires on every daemon drain pass *)
-  | "recovery.partition.done" -> 4  (* fires once per replay fiber *)
-  | _ -> 2
+(* The per-point hit caps live in {!Mutate} so the enumerator and the
+   mutators draw from the same ranges. *)
 
 let singles_for hits =
   let kinds = Camelot_chaos.registered () in
@@ -316,7 +365,7 @@ let singles_for hits =
       match List.assoc_opt point kinds with
       | None -> []
       | Some kind ->
-          let k = min count (hit_cap point) in
+          let k = min count (Mutate.hit_cap point) in
           List.concat
             (List.init k (fun h ->
                  let mk fault =
@@ -333,9 +382,127 @@ let singles_for hits =
                      [ mk Schedule.Crash; mk Schedule.Isolate ])))
     hits
 
-(* --- exploration -------------------------------------------------- *)
+(* --- search bookkeeping ------------------------------------------- *)
 
 let default_workloads () = List.map (fun w -> w.Workload.w_name) Workload.all
+
+(* State shared by both search modes: per-point hit totals, the global
+   distinct-tuple set, the coverage-growth curve (sampled at
+   powers-of-two run counts), and the failure list with shrinking. *)
+type search = {
+  sr_run : Schedule.t -> run_result;
+  sr_budget : int;
+  sr_max_failures : int;
+  sr_progress : int -> int -> unit;
+  sr_coverage : (string, int) Hashtbl.t;
+  sr_tuples : (Coverage.tuple, unit) Hashtbl.t;
+  sr_wruns : (string, int) Hashtbl.t;
+  mutable sr_runs : int;
+  mutable sr_failures : failure list;
+  mutable sr_last_new : int;
+  mutable sr_growth : (int * int) list;  (* newest-first *)
+}
+
+let search_create ?mutate_config ~budget ~max_failures ~progress () =
+  {
+    sr_run = run_schedule ?mutate_config;
+    sr_budget = budget;
+    sr_max_failures = max_failures;
+    sr_progress = progress;
+    sr_coverage = Hashtbl.create 64;
+    sr_tuples = Hashtbl.create 256;
+    sr_wruns = Hashtbl.create 16;
+    sr_runs = 0;
+    sr_failures = [];
+    sr_last_new = 0;
+    sr_growth = [];
+  }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Run one schedule, absorb its coverage; returns the result and how
+   many globally-new tuples it contributed. *)
+let search_exec sr (s : Schedule.t) =
+  let r = sr.sr_run s in
+  sr.sr_runs <- sr.sr_runs + 1;
+  sr.sr_progress sr.sr_runs sr.sr_budget;
+  let w = s.Schedule.s_workload in
+  Hashtbl.replace sr.sr_wruns w
+    (Option.value ~default:0 (Hashtbl.find_opt sr.sr_wruns w) + 1);
+  List.iter
+    (fun ((p, _), n) ->
+      Hashtbl.replace sr.sr_coverage p
+        (Option.value ~default:0 (Hashtbl.find_opt sr.sr_coverage p) + n))
+    r.rr_hits;
+  let fresh =
+    List.fold_left
+      (fun k t ->
+        if Hashtbl.mem sr.sr_tuples t then k
+        else begin
+          Hashtbl.replace sr.sr_tuples t ();
+          k + 1
+        end)
+      0 r.rr_tuples
+  in
+  if fresh > 0 then sr.sr_last_new <- sr.sr_runs;
+  if is_pow2 sr.sr_runs then
+    sr.sr_growth <- (sr.sr_runs, Hashtbl.length sr.sr_tuples) :: sr.sr_growth;
+  (r, fresh)
+
+let search_give_up sr =
+  sr.sr_runs >= sr.sr_budget
+  || List.length sr.sr_failures >= sr.sr_max_failures
+
+(* Shrink a failing run to a minimal replayable token and record it.
+   Shrink runs count against the budget and feed coverage like any
+   other run. *)
+let search_consider ?(on_failure = fun (_ : Schedule.t) -> ()) sr
+    (r : run_result) =
+  if r.rr_violations <> [] then begin
+    let exec1 s = fst (search_exec sr s) in
+    let shrunk = shrink ~run:exec1 r.rr_schedule in
+    (* re-run the shrunk schedule to report its violations *)
+    let final = exec1 shrunk in
+    on_failure shrunk;
+    sr.sr_failures <-
+      {
+        fl_original = r.rr_schedule;
+        fl_shrunk = shrunk;
+        fl_violations =
+          (if final.rr_violations <> [] then final.rr_violations
+           else r.rr_violations);
+      }
+      :: sr.sr_failures
+  end
+
+let search_report sr ~corpus =
+  let registered = List.map fst (Camelot_chaos.registered ()) in
+  let growth =
+    List.rev
+      (match sr.sr_growth with
+      | (n, _) :: _ when n = sr.sr_runs -> sr.sr_growth
+      | g -> (sr.sr_runs, Hashtbl.length sr.sr_tuples) :: g)
+  in
+  {
+    rp_runs = sr.sr_runs;
+    rp_failures = List.rev sr.sr_failures;
+    rp_coverage =
+      List.filter_map
+        (fun p ->
+          Option.map (fun n -> (p, n)) (Hashtbl.find_opt sr.sr_coverage p))
+        registered;
+    rp_missing =
+      List.filter (fun p -> not (Hashtbl.mem sr.sr_coverage p)) registered;
+    rp_tuples = Hashtbl.length sr.sr_tuples;
+    rp_workload_runs =
+      List.sort compare
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) sr.sr_wruns []);
+    rp_corpus = corpus;
+    rp_last_new = sr.sr_last_new;
+    rp_growth = growth;
+  }
+
+(* --- exploration: enumerate + random ------------------------------ *)
 
 let explore ?mutate_config ?(budget = 1200) ?(seed = 42) ?workloads
     ?(max_failures = 3) ?(progress = fun (_ : int) (_ : int) -> ()) () =
@@ -343,37 +510,10 @@ let explore ?mutate_config ?(budget = 1200) ?(seed = 42) ?workloads
     match workloads with Some ws -> ws | None -> default_workloads ()
   in
   let rng = Camelot_sim.Rng.create ~seed in
-  let coverage : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let runs = ref 0 in
-  let failures = ref [] in
-  let exec s =
-    let r = run_schedule ?mutate_config s in
-    incr runs;
-    progress !runs budget;
-    List.iter
-      (fun ((p, _), n) ->
-        Hashtbl.replace coverage p
-          (Option.value ~default:0 (Hashtbl.find_opt coverage p) + n))
-      r.rr_hits;
-    r
-  in
-  let give_up () = !runs >= budget || List.length !failures >= max_failures in
-  let consider (r : run_result) =
-    if r.rr_violations <> [] then begin
-      let shrunk = shrink ~run:exec r.rr_schedule in
-      (* re-run the shrunk schedule to report its violations *)
-      let final = exec shrunk in
-      failures :=
-        {
-          fl_original = r.rr_schedule;
-          fl_shrunk = shrunk;
-          fl_violations =
-            (if final.rr_violations <> [] then final.rr_violations
-             else r.rr_violations);
-        }
-        :: !failures
-    end
-  in
+  let sr = search_create ?mutate_config ~budget ~max_failures ~progress () in
+  let exec s = fst (search_exec sr s) in
+  let give_up () = search_give_up sr in
+  let consider r = search_consider sr r in
   (* counting runs: discover each workload's (point, site) hit counts *)
   let pools =
     List.filter_map
@@ -409,23 +549,121 @@ let explore ?mutate_config ?(budget = 1200) ?(seed = 42) ?workloads
       consider
         (exec { Schedule.s_workload = name; s_injections = [ a; b ] })
     done;
-  let registered = List.map fst (Camelot_chaos.registered ()) in
-  {
-    rp_runs = !runs;
-    rp_failures = List.rev !failures;
-    rp_coverage =
-      List.filter_map
-        (fun p -> Option.map (fun n -> (p, n)) (Hashtbl.find_opt coverage p))
-        registered;
-    rp_missing =
-      List.filter (fun p -> not (Hashtbl.mem coverage p)) registered;
-  }
+  search_report sr ~corpus:0
+
+(* --- fuzzing: coverage-guided ------------------------------------- *)
+
+(* Coverage-guided search: counting runs seed the per-workload
+   injection pools and the corpus; schedules saved by earlier sessions
+   replay next (admitted again if they still grow coverage); then the
+   budget is spent mutating corpus schedules, preferring recent
+   growers. A child enters the corpus iff it contributed at least one
+   globally-new tuple. *)
+let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
+    ?(max_failures = 3) ?(progress = fun (_ : int) (_ : int) -> ()) () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> default_workloads ()
+  in
+  let rng = Camelot_sim.Rng.create ~seed in
+  let sr = search_create ?mutate_config ~budget ~max_failures ~progress () in
+  let corpus = Corpus.create ?dir:corpus_dir () in
+  let consider r =
+    search_consider ~on_failure:(Corpus.note_failure corpus) sr r
+  in
+  let admit (r : run_result) fresh =
+    if fresh > 0 then
+      ignore
+        (Corpus.add corpus ~run:sr.sr_runs r.rr_schedule
+           ~signature:r.rr_signature
+          : bool)
+  in
+  (* counting runs: pools + the bare schedules as corpus roots *)
+  let pools : (string, Schedule.injection array) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun name ->
+      if not (search_give_up sr) then begin
+        let r, fresh =
+          search_exec sr { Schedule.s_workload = name; s_injections = [] }
+        in
+        consider r;
+        admit r fresh;
+        let singles = singles_for r.rr_hits in
+        if singles <> [] then Hashtbl.replace pools name (Array.of_list singles)
+      end)
+    workloads;
+  (* replay what earlier sessions found interesting *)
+  List.iter
+    (fun (s : Schedule.t) ->
+      if
+        (not (search_give_up sr))
+        && List.mem s.Schedule.s_workload workloads
+        && s.Schedule.s_injections <> []
+      then begin
+        let r, fresh = search_exec sr s in
+        consider r;
+        admit r fresh
+      end)
+    (Corpus.load corpus);
+  (* mutation loop *)
+  let pool_arr =
+    Array.of_list
+      (List.filter_map
+         (fun name ->
+           Option.map (fun p -> (name, p)) (Hashtbl.find_opt pools name))
+         workloads)
+  in
+  let random_single () =
+    if Array.length pool_arr = 0 then None
+    else
+      let name, pool =
+        pool_arr.(Camelot_sim.Rng.int_below rng (Array.length pool_arr))
+      in
+      let inj = pool.(Camelot_sim.Rng.int_below rng (Array.length pool)) in
+      Some { Schedule.s_workload = name; s_injections = [ inj ] }
+  in
+  let exhausted = ref (Array.length pool_arr = 0 && Corpus.size corpus = 0) in
+  while not (search_give_up sr || !exhausted) do
+    let child =
+      match Corpus.pick corpus rng with
+      | None -> random_single ()
+      | Some e -> (
+          let s = e.Corpus.e_schedule in
+          let pool =
+            Option.value ~default:[||]
+              (Hashtbl.find_opt pools s.Schedule.s_workload)
+          in
+          let partner () =
+            Option.map
+              (fun e -> e.Corpus.e_schedule)
+              (Corpus.pick_for_workload corpus rng s.Schedule.s_workload)
+          in
+          match Mutate.mutate rng ~pool ~partner s with
+          | Some child -> Some child
+          | None -> random_single ())
+    in
+    match child with
+    | None -> exhausted := true
+    | Some child ->
+        let r, fresh = search_exec sr child in
+        consider r;
+        admit r fresh
+  done;
+  search_report sr ~corpus:(Corpus.size corpus)
 
 (* --- reporting ---------------------------------------------------- *)
 
 let pp_report ppf r =
   Format.fprintf ppf "chaos: %d schedules run, %d failing@." r.rp_runs
     (List.length r.rp_failures);
+  Format.fprintf ppf
+    "tuples: %d distinct (point x hit x phase), last new at run %d%s@."
+    r.rp_tuples r.rp_last_new
+    (if r.rp_corpus > 0 then Printf.sprintf ", corpus %d" r.rp_corpus else "");
+  Format.fprintf ppf "growth:%s@."
+    (String.concat ""
+       (List.map (fun (n, t) -> Printf.sprintf " %d:%d" n t) r.rp_growth));
   Format.fprintf ppf "coverage (%d/%d points hit):@."
     (List.length r.rp_coverage)
     (List.length r.rp_coverage + List.length r.rp_missing);

@@ -1,0 +1,132 @@
+(* Schedule mutators for the coverage-guided fuzzer. Every mutator
+   takes a parent schedule from the corpus and returns a syntactically
+   valid child (its token parses and round-trips) or [None] when the
+   mutation does not apply; the fuzzer tries another mutator then.
+
+   Injections are drawn from a per-workload *pool* — the single
+   injections enumerated from that workload's counting run — so every
+   mutated fault point was actually observed to fire for the
+   workload. Perturbed hit indices may exceed what a particular
+   schedule reaches; such an injection simply never fires (the run is
+   wasted, not wrong). *)
+
+open Camelot_sim
+
+(* A schedule carries at most this many injections: deep enough for
+   crash-during-recovery-of-a-crash chains, small enough to shrink. *)
+let max_injections = 4
+
+(* How many of a point's hits the enumerator sweeps and the mutators
+   draw from. Step points fire a handful of times; the Choice points
+   fire on every datagram / disk write / enqueue, so cap them. *)
+let hit_cap = function
+  | "net.datagram" -> 12
+  | "wal.force.torn" -> 6
+  | "wal.daemon.batch" -> 4 (* fires on every daemon drain pass *)
+  | "recovery.partition.done" -> 4 (* fires once per replay fiber *)
+  | _ -> 2
+
+let point_kind p = List.assoc_opt p (Camelot_chaos.registered ())
+
+(* Faults that are meaningful at a point of the given kind: denying a
+   Step point is a no-op (Step hits ignore [Deny]), and a Choice point
+   is consulted via [deny], which cannot crash or partition. *)
+let faults_for = function
+  | Camelot_chaos.Choice -> [ Schedule.Drop ]
+  | Camelot_chaos.Step -> [ Schedule.Crash; Schedule.Isolate ]
+
+let rand_hit rng point = 1 + Rng.int_below rng (max 1 (hit_cap point))
+
+let with_injections (s : Schedule.t) injs = { s with Schedule.s_injections = injs }
+
+(* Perturb the k-th-hit index of one injection. *)
+let perturb_hit rng (s : Schedule.t) =
+  match s.Schedule.s_injections with
+  | [] -> None
+  | injs ->
+      let i = Rng.int_below rng (List.length injs) in
+      let inj = List.nth injs i in
+      let cap = max 1 (hit_cap inj.Schedule.i_point) in
+      if cap = 1 then None
+      else
+        let h = 1 + Rng.int_below rng cap in
+        let h = if h = inj.Schedule.i_hit then 1 + (h mod cap) else h in
+        Some
+          (with_injections s
+             (List.mapi
+                (fun j x -> if j = i then { x with Schedule.i_hit = h } else x)
+                injs))
+
+(* Swap one injection's fault kind for another kind valid at its
+   point (crash <-> isolate at Step points; Choice points only admit
+   Drop, so they never swap). *)
+let swap_fault rng (s : Schedule.t) =
+  match s.Schedule.s_injections with
+  | [] -> None
+  | injs -> (
+      let i = Rng.int_below rng (List.length injs) in
+      let inj = List.nth injs i in
+      match point_kind inj.Schedule.i_point with
+      | None -> None
+      | Some kind -> (
+          match
+            List.filter (fun f -> f <> inj.Schedule.i_fault) (faults_for kind)
+          with
+          | [] -> None
+          | alts ->
+              let f = List.nth alts (Rng.int_below rng (List.length alts)) in
+              Some
+                (with_injections s
+                   (List.mapi
+                      (fun j x ->
+                        if j = i then { x with Schedule.i_fault = f } else x)
+                      injs))))
+
+(* Append one more injection drawn from the workload's pool, with a
+   fresh random hit index. *)
+let append_injection rng ~pool (s : Schedule.t) =
+  if Array.length pool = 0 || List.length s.Schedule.s_injections >= max_injections
+  then None
+  else
+    let base = pool.(Rng.int_below rng (Array.length pool)) in
+    let inj = { base with Schedule.i_hit = rand_hit rng base.Schedule.i_point } in
+    Some (with_injections s (s.Schedule.s_injections @ [ inj ]))
+
+(* Splice two same-workload parents: a prefix of [a]'s injections
+   followed by a suffix of [b]'s. Each child injection comes verbatim
+   from one parent, so per-parent fault-point validity is preserved. *)
+let splice rng (a : Schedule.t) (b : Schedule.t) =
+  if a.Schedule.s_workload <> b.Schedule.s_workload then None
+  else
+    let ia = a.Schedule.s_injections and ib = b.Schedule.s_injections in
+    if ia = [] && ib = [] then None
+    else
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      let drop n l = List.filteri (fun i _ -> i >= n) l in
+      let i = if ia = [] then 0 else Rng.int_below rng (List.length ia + 1) in
+      let j = if ib = [] then 0 else Rng.int_below rng (List.length ib) in
+      let injs = take i ia @ drop j ib in
+      let injs = take max_injections injs in
+      if injs = [] then None else Some (with_injections a injs)
+
+(* One mutation: try the four mutators starting from a random one
+   until some mutator applies. [partner] draws a second same-workload
+   parent for splicing (may decline). *)
+let mutate rng ~pool ~partner (s : Schedule.t) =
+  let ops =
+    [|
+      (fun () -> perturb_hit rng s);
+      (fun () -> swap_fault rng s);
+      (fun () -> append_injection rng ~pool s);
+      (fun () -> match partner () with None -> None | Some b -> splice rng s b);
+    |]
+  in
+  let start = Rng.int_below rng (Array.length ops) in
+  let rec go k =
+    if k >= Array.length ops then None
+    else
+      match ops.((start + k) mod Array.length ops) () with
+      | Some child -> Some child
+      | None -> go (k + 1)
+  in
+  go 0

@@ -1,15 +1,28 @@
-(* Post-recovery correctness oracles. After a chaos run has healed,
-   restarted every site and driven every transaction to resolution,
-   these checks decide whether the fault schedule exposed a bug:
+(* Post-recovery correctness oracles, labeled against the AC1–AC5
+   atomic-commitment properties (Gray & Lamport, "Consensus on
+   Transaction Commit"). After a chaos run has healed, restarted every
+   site and driven every transaction to resolution:
 
-   - atomicity: each transaction's writes are all visible or none;
-   - durability: a commit observed by the application survives the
-     final crash-everything restart;
-   - lock hygiene: no lock is still held anywhere;
-   - log discipline: per-site durable logs respect the presumed-abort
-     write/force rules of Record's documentation;
-   - decision backing: a visible write implies a durable commit record
-     at some site. *)
+   - AC1 (agreement): all sites that decide reach the same decision —
+     value-level all-or-nothing [ac1-atomicity] plus durable-log
+     cross-site agreement [ac1-agreement];
+   - AC2 (stability): a site cannot reverse a decision it made —
+     conflicting durable records at one site [ac2-stability], and a
+     commit observed by the application survives the final
+     crash-everything restart [ac2-durability];
+   - AC3 (votes): the Commit decision only after every participant
+     voted yes — a durable Commit naming a participant with no durable
+     Prepare/Replication vote [ac3-votes];
+   - AC4 (non-triviality): on a fault-free run every transaction must
+     actually commit [ac4-nontrivial, only checked when no injection
+     fired];
+   - AC5 (eventual decision): every transaction resolves once faults
+     heal — emitted by the explorer's resolution deadline through
+     {!ac5} [ac5-liveness].
+
+   The non-AC oracles keep their original names: presumed-abort
+   decision backing, checkpoint truncation integrity, dependency-edge
+   integrity, lock hygiene, and residual log-discipline rules. *)
 
 open Camelot_core
 
@@ -18,6 +31,11 @@ type violation = { v_oracle : string; v_detail : string }
 let v oracle fmt = Printf.ksprintf (fun d -> { v_oracle = oracle; v_detail = d }) fmt
 
 let pp_violation ppf x = Format.fprintf ppf "[%s] %s" x.v_oracle x.v_detail
+
+(* AC5 failure messages come from the explorer, which owns the
+   resolution deadlines; routing them through this constructor keeps
+   the oracle name in one place. *)
+let ac5 fmt = v "ac5-liveness" fmt
 
 (* --- per-site durable-log facts ---------------------------------- *)
 
@@ -31,6 +49,8 @@ type facts = {
   mutable replication_at : int;
   mutable refusal_at : int;
   mutable end_at : int;
+  mutable has_update : bool;  (* the transaction wrote data at this site *)
+  mutable commit_sites : int list;  (* participants named by the Commit *)
 }
 
 let facts_of_log log =
@@ -50,6 +70,8 @@ let facts_of_log log =
             replication_at = -1;
             refusal_at = -1;
             end_at = -1;
+            has_update = false;
+            commit_sites = [];
           }
         in
         Hashtbl.replace tbl k f;
@@ -57,7 +79,8 @@ let facts_of_log log =
   in
   Camelot_wal.Log.iter_durable log (fun lsn r ->
       match r with
-      | Record.Update _ | Record.Collecting _ -> ()
+      | Record.Update u -> (get u.Record.u_tid).has_update <- true
+      | Record.Collecting _ -> ()
       | Record.Checkpoint { ck_families; _ } ->
           (* family images summarize truncated records: seed the marks
              they stand in for, at the checkpoint's own LSN (first-wins,
@@ -82,9 +105,12 @@ let facts_of_log log =
       | Record.Prepare { p_tid; _ } ->
           let f = get p_tid in
           if f.prepare_at < 0 then f.prepare_at <- lsn
-      | Record.Commit { c_tid; _ } ->
+      | Record.Commit { c_tid; c_sites } ->
           let f = get c_tid in
-          if f.commit_at < 0 then f.commit_at <- lsn
+          if f.commit_at < 0 then begin
+            f.commit_at <- lsn;
+            f.commit_sites <- c_sites
+          end
       | Record.Abort { a_tid } ->
           let f = get a_tid in
           if f.abort_at < 0 then f.abort_at <- lsn
@@ -104,8 +130,10 @@ let check_log_discipline ~site facts acc =
     (fun _ f acc ->
       let tid = Tid.to_string f.f_tid in
       let acc =
+        (* AC2: one site, two opposite decisions *)
         if f.commit_at >= 0 && f.abort_at >= 0 then
-          v "log" "site %d logged both Commit (lsn %d) and Abort (lsn %d) for %s"
+          v "ac2-stability"
+            "site %d logged both Commit (lsn %d) and Abort (lsn %d) for %s"
             site f.commit_at f.abort_at tid
           :: acc
         else acc
@@ -118,32 +146,136 @@ let check_log_discipline ~site facts acc =
         else acc
       in
       let acc =
-        (* a subordinate may only hold a commit record for a
-           transaction it durably prepared (2PC) or replicated
-           (non-blocking): presumed abort's whole point *)
+        (* AC3 at the subordinate: it may only hold a commit record for
+           a transaction it durably prepared (2PC) or replicated
+           (non-blocking) — its own yes vote: presumed abort's whole
+           point *)
         if
           f.commit_at >= 0
           && Tid.origin f.f_tid <> site
           && f.prepare_at < 0
           && f.replication_at < 0
         then
-          v "log"
+          v "ac3-votes"
             "site %d logged Commit (lsn %d) for %s without Prepare or Replication"
             site f.commit_at tid
           :: acc
         else acc
       in
+      (* AC2: a Replication is a yes vote, a Refusal a no — one site
+         cannot durably cast both *)
       if f.replication_at >= 0 && f.refusal_at >= 0 then
-        v "log"
+        v "ac2-stability"
           "site %d logged both Replication (lsn %d) and Refusal (lsn %d) for %s"
           site f.replication_at f.refusal_at tid
         :: acc
       else acc)
     facts acc
 
+(* --- cross-site checks -------------------------------------------- *)
+
+(* AC1 across durable logs: once any site committed a transaction, a
+   site that voted yes (durable Prepare or Replication) may not hold a
+   durable Abort for it. Unvoted sites abort unilaterally all the time
+   under presumed abort — that is legal; the conflict needs a yes vote
+   on the aborting side. One report per transaction. *)
+let check_agreement facts_by_site acc =
+  let acc = ref acc in
+  let reported = Hashtbl.create 8 in
+  Array.iteri
+    (fun i tbl ->
+      Hashtbl.iter
+        (fun k (f : facts) ->
+          if f.commit_at >= 0 && not (Hashtbl.mem reported k) then
+            Array.iteri
+              (fun s tbl' ->
+                if not (Hashtbl.mem reported k) then
+                  match Hashtbl.find_opt tbl' k with
+                  | Some g
+                    when g.abort_at >= 0 && g.commit_at < 0
+                         && (g.prepare_at >= 0 || g.replication_at >= 0) ->
+                      Hashtbl.replace reported k ();
+                      acc :=
+                        v "ac1-agreement"
+                          "%s: site %d durably committed (lsn %d) but voted \
+                           site %d durably aborted (lsn %d)"
+                          (Tid.to_string f.f_tid) i f.commit_at s g.abort_at
+                        :: !acc
+                  | _ -> ())
+              facts_by_site)
+        tbl)
+    facts_by_site;
+  !acc
+
+(* AC3 at the coordinator: a durable Commit names its update
+   participants; each of them must hold a durable yes vote (Prepare or
+   Replication) — or at least some decision mark — for the decision to
+   have been backed by all votes. Exemptions: the committing site
+   itself and the transaction's origin (a non-blocking coordinator is
+   its own participant and spools its prepare image volatile — a crash
+   legally loses it), and participants with no durable updates (a
+   read-only or crashed-before-logging participant never votes under
+   presumed abort). *)
+let check_ac3 facts_by_site acc =
+  let acc = ref acc in
+  let reported = Hashtbl.create 8 in
+  Array.iteri
+    (fun i tbl ->
+      Hashtbl.iter
+        (fun k (f : facts) ->
+          if f.commit_at >= 0 then
+            List.iter
+              (fun s ->
+                if
+                  s <> i
+                  && s <> Tid.origin f.f_tid
+                  && s >= 0
+                  && s < Array.length facts_by_site
+                  && not (Hashtbl.mem reported (k, s))
+                then
+                  match Hashtbl.find_opt facts_by_site.(s) k with
+                  | Some g
+                    when g.has_update && g.prepare_at < 0
+                         && g.replication_at < 0 && g.refusal_at < 0
+                         && g.commit_at < 0 && g.abort_at < 0 ->
+                      Hashtbl.replace reported (k, s) ();
+                      acc :=
+                        v "ac3-votes"
+                          "%s: site %d durably committed (lsn %d) naming \
+                           participant %d, which updated data but never \
+                           durably voted"
+                          (Tid.to_string f.f_tid) i f.commit_at s
+                        :: !acc
+                  | _ -> ())
+              f.commit_sites)
+        tbl)
+    facts_by_site;
+  !acc
+
+(* AC4 on a fault-free run: with no failures and every participant
+   able to vote yes, the decision must be Commit — a protocol that
+   aborts, stalls or sheds without cause is trivially "safe" and
+   useless. Only meaningful when no injection fired. *)
+let check_ac4 txns acc =
+  List.fold_left
+    (fun acc (t : Workload.txn) ->
+      if !(t.x_skipped) then
+        v "ac4-nontrivial" "%s never ran on a fault-free schedule" t.x_label
+        :: acc
+      else
+        match !(t.x_result) with
+        | Some Protocol.Committed -> acc
+        | Some Protocol.Aborted ->
+            v "ac4-nontrivial" "%s aborted on a fault-free schedule" t.x_label
+            :: acc
+        | None ->
+            v "ac4-nontrivial" "%s undecided on a fault-free schedule" t.x_label
+            :: acc)
+    acc txns
+
 (* --- whole-cluster check ------------------------------------------ *)
 
-let check c txns =
+let check ?(fault_free = false) c txns =
   let sites = Camelot.Cluster.sites c in
   let acc = ref [] in
   let add x = acc := x :: !acc in
@@ -157,6 +289,10 @@ let check c txns =
   for i = 0 to sites - 1 do
     acc := check_log_discipline ~site:i facts.(i) !acc
   done;
+  (* cross-site agreement and vote backing *)
+  acc := check_agreement facts !acc;
+  acc := check_ac3 facts !acc;
+  if fault_free then acc := check_ac4 txns !acc;
   (* truncation integrity: a log whose base has advanced must begin
      with the checkpoint that summarizes the dropped prefix *)
   for i = 0 to sites - 1 do
@@ -235,29 +371,33 @@ let check c txns =
       in
       (match !(t.x_result) with
       | Some Protocol.Committed ->
+          (* AC2: the decision the application observed is stable
+             across the final crash-everything restart *)
           if n_vis < n then
             add
-              (v "durability" "%s committed but writes lost after restart: %s"
-                 t.x_label (describe ()));
+              (v "ac2-durability"
+                 "%s committed but writes lost after restart: %s" t.x_label
+                 (describe ()));
           (match !(t.x_tid) with
           | Some tid when not committed_somewhere ->
               add
-                (v "durability"
+                (v "ac2-durability"
                    "%s (%s) committed but no durable Commit record anywhere"
                    t.x_label (Tid.to_string tid))
           | _ -> ())
       | Some Protocol.Aborted ->
           if n_vis > 0 then
             add
-              (v "atomicity" "%s aborted but writes survived: %s" t.x_label
+              (v "ac1-atomicity" "%s aborted but writes survived: %s" t.x_label
                  (describe ()))
       | None ->
           (* the application never learned the outcome (its site
              crashed): recovery must still land on all-or-nothing *)
           if n_vis > 0 && n_vis < n then
             add
-              (v "atomicity" "%s (no observed outcome) is partially applied: %s"
-                 t.x_label (describe ())));
+              (v "ac1-atomicity"
+                 "%s (no observed outcome) is partially applied: %s" t.x_label
+                 (describe ())));
       (* a surviving write must be backed by a durable commit decision *)
       if n_vis > 0 && not committed_somewhere then
         add
@@ -270,8 +410,9 @@ let check c txns =
           let got = peek s k in
           if got <> 0 then
             add
-              (v "atomicity" "%s: aborted-child write %s@%d resurfaced (= %d)"
-                 t.x_label k s got))
+              (v "ac1-atomicity"
+                 "%s: aborted-child write %s@%d resurfaced (= %d)" t.x_label k s
+                 got))
         t.x_never)
     txns;
   (* lock hygiene: everything resolved, so nothing may still be held *)

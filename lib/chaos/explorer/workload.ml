@@ -14,6 +14,10 @@ type txn = {
   x_never : (int * string) list;  (* aborted-child writes: never visible *)
   x_tid : Tid.t option ref;
   x_result : Protocol.outcome option ref;
+  x_skipped : bool ref;
+      (* never ran: shed at admission, or its enabling shot failed *)
+  x_deferred : bool;
+      (* starts only after an earlier transaction commits (multi-shot) *)
 }
 
 type t = {
@@ -31,10 +35,15 @@ type t = {
    workloads and the queue-sharded one. A participant dying
    mid-operation surfaces as [Rpc_failure]; the application aborts,
    like the paper's §2 rule. *)
-let txn_body c ~tm ~protocol ~origin ~writes ~tid_cell ~result () =
+let txn_body c ~tm ~protocol ~origin ?(reads = []) ~writes ~tid_cell ~result () =
   let tid = Tranman.begin_transaction tm in
   tid_cell := Some tid;
   match
+    List.iter
+      (fun (site, key) ->
+        ignore
+          (Camelot.Cluster.op c ~origin tid ~site (Data_server.Read key) : int))
+      reads;
     List.iter
       (fun (site, key, v) ->
         ignore
@@ -69,6 +78,8 @@ let start_txn c ~label ~protocol ~origin ~writes =
     x_never = [];
     x_tid = tid_cell;
     x_result = result;
+    x_skipped = ref false;
+    x_deferred = false;
   }
 
 (* Two crossing two-site transactions under two-phase commit: each site
@@ -129,6 +140,8 @@ let nested c =
       x_never = [ (1, "nx") ];
       x_tid = tid_cell;
       x_result = result;
+      x_skipped = ref false;
+      x_deferred = false;
     };
   ]
 
@@ -146,10 +159,14 @@ let ckpt_2pc c =
   Camelot_mach.Site.spawn node.Camelot.Cluster.site ~name:"chaos-ckpt"
     (fun () ->
       (* checkpoint both sites mid-flight and again once quiesced; the
-         automatic checkpointer adds more as the log grows *)
-      Camelot_sim.Fiber.sleep 40.0;
-      Camelot.Cluster.checkpoint c 0;
-      Camelot.Cluster.checkpoint c 1);
+         automatic checkpointer adds more as the log grows. An injected
+         kill can land inside the checkpoint itself — that is the point,
+         not a fiber failure worth reporting. *)
+      try
+        Camelot_sim.Fiber.sleep 40.0;
+        Camelot.Cluster.checkpoint c 0;
+        Camelot.Cluster.checkpoint c 1
+      with Camelot_chaos.Killed -> ());
   let t1 =
     start_txn c ~label:"c1" ~protocol:Protocol.Two_phase ~origin:1
       ~writes:[ (1, "cc", 93); (0, "cd", 94) ]
@@ -172,11 +189,11 @@ let shard_2pc c =
   let submit ~label ~origin ~key ~writes =
     let tm = Camelot.Cluster.tranman c origin in
     let tid_cell = ref None and result = ref None in
-    ignore
-      (Camelot_mach.Dispatch.submit_key dispatch.(origin) ~key
-         (txn_body c ~tm ~protocol:Protocol.Two_phase ~origin ~writes ~tid_cell
-            ~result)
-        : bool);
+    let admitted =
+      Camelot_mach.Dispatch.submit_key dispatch.(origin) ~key
+        (txn_body c ~tm ~protocol:Protocol.Two_phase ~origin ~writes ~tid_cell
+           ~result)
+    in
     {
       x_label = label;
       x_origin = origin;
@@ -184,6 +201,8 @@ let shard_2pc c =
       x_never = [];
       x_tid = tid_cell;
       x_result = result;
+      x_skipped = ref (not admitted);
+      x_deferred = false;
     }
   in
   [
@@ -204,6 +223,86 @@ let mixed c =
     start_txn c ~label:"m-nb" ~protocol:Protocol.Nonblocking ~origin:1
       ~writes:[ (1, "mc", 81); (2, "md", 82); (0, "me", 83) ];
   ]
+
+(* Multi-shot chain: one key ("chain" at the home site 0) flows through
+   [shots] sequential transactions, each originated at a different
+   site; the commit of shot N enables shot N+1. A groupless controller
+   fiber sequences the shots, so it survives site crashes — what dies
+   with a crashed origin is the shot's own application fiber, exactly
+   like the real application process. Shots after a failed one never
+   start and are marked [x_skipped]; since the chain key is overwritten
+   by every shot, only the {e last} shot claims it in [x_writes] (the
+   intermediate values are not durable facts once overwritten). *)
+let multishot ~shots ~protocol c =
+  let sites = Camelot.Cluster.sites c in
+  let home = 0 in
+  let origin_of i = max 1 ((i + 1) * (sites - 1) / shots) in
+  let txns =
+    List.init shots (fun i ->
+        let origin = origin_of i in
+        {
+          x_label = Printf.sprintf "ms%d" i;
+          x_origin = origin;
+          x_writes =
+            ((origin, Printf.sprintf "ms%d" i, 211 + i)
+            :: (if i = shots - 1 then [ (home, "chain", 201 + i) ] else []));
+          x_never = [];
+          x_tid = ref None;
+          x_result = ref None;
+          x_skipped = ref false;
+          x_deferred = i > 0;
+        })
+  in
+  let skip_from i =
+    List.iteri
+      (fun j t -> if j >= i && !(t.x_tid) = None then t.x_skipped := true)
+      txns
+  in
+  let rec wait_alive site tries =
+    if tries = 0 then false
+    else if Camelot_mach.Site.alive (Camelot.Cluster.node c site).Camelot.Cluster.site
+    then true
+    else (
+      Camelot_sim.Fiber.sleep 100.0;
+      wait_alive site (tries - 1))
+  in
+  Camelot_sim.Fiber.spawn (Camelot_sim.Fiber.engine ()) ~name:"chaos-multishot"
+    (fun () ->
+      let rec shot i =
+        if i >= shots then ()
+        else
+          let t = List.nth txns i in
+          let origin = t.x_origin in
+          if not (wait_alive origin 10) then (
+            skip_from i)
+          else begin
+            let tm = Camelot.Cluster.tranman c origin in
+            let writes =
+              (origin, Printf.sprintf "ms%d" i, 211 + i)
+              :: [ (home, "chain", 201 + i) ]
+            in
+            let reads = if i = 0 then [] else [ (home, "chain") ] in
+            Camelot_mach.Site.spawn
+              (Camelot.Cluster.node c origin).Camelot.Cluster.site
+              ~name:("chaos-" ^ t.x_label)
+              (txn_body c ~tm ~protocol ~origin ~reads ~writes
+                 ~tid_cell:t.x_tid ~result:t.x_result);
+            let deadline = Camelot_sim.Fiber.now () +. 2500.0 in
+            let rec poll () =
+              match !(t.x_result) with
+              | Some Protocol.Committed -> shot (i + 1)
+              | Some _ -> skip_from (i + 1)
+              | None ->
+                  if Camelot_sim.Fiber.now () >= deadline then skip_from (i + 1)
+                  else (
+                    Camelot_sim.Fiber.sleep 25.0;
+                    poll ())
+            in
+            poll ()
+          end
+      in
+      shot 0);
+  txns
 
 let fixed = Camelot.Cluster.Fixed
 let adaptive = Camelot.Cluster.Adaptive
@@ -234,6 +333,32 @@ let all =
     { w_name = "dep-2pc"; w_protocol = Protocol.Two_phase; w_sites = 2;
       w_logger = adaptive; w_checkpoint_every = Some 8; w_dep_logging = true;
       w_recovery_partitions = 2; w_start = ckpt_2pc };
+    (* the multi-shot chains: cross-transaction recovery states the
+       concurrent pair workloads cannot reach (a crash during shot N's
+       recovery delays — or cancels — shot N+1) *)
+    { w_name = "multishot-2pc"; w_protocol = Protocol.Two_phase; w_sites = 4;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1;
+      w_start = multishot ~shots:3 ~protocol:Protocol.Two_phase };
+    { w_name = "multishot-nb"; w_protocol = Protocol.Nonblocking; w_sites = 4;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1;
+      w_start = multishot ~shots:2 ~protocol:Protocol.Nonblocking };
+    { w_name = "multishot-dep"; w_protocol = Protocol.Two_phase; w_sites = 4;
+      w_logger = adaptive; w_checkpoint_every = Some 8; w_dep_logging = true;
+      w_recovery_partitions = 2;
+      w_start = multishot ~shots:4 ~protocol:Protocol.Two_phase };
   ]
 
-let find name = List.find_opt (fun w -> w.w_name = name) all
+(* Findable by name but excluded from the default exploration pool:
+   the paper-scale 24-site chain is too slow to run thousands of times
+   per smoke budget, but the bare-workload test exercises it. *)
+let hidden =
+  [
+    { w_name = "multishot-24"; w_protocol = Protocol.Two_phase; w_sites = 24;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1;
+      w_start = multishot ~shots:4 ~protocol:Protocol.Two_phase };
+  ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) (all @ hidden)

@@ -197,6 +197,18 @@ let handle_prepare st msg ~takeover =
             send st ~dst:m_coordinator
               (Protocol.Vote { m_tid; m_from = me st; m_vote = Protocol.Vote_no })
           end
+          else if fam.f_servers = [] then begin
+            (* amnesia: the coordinator names us a participant, yet no
+               local server knows the transaction — a crash wiped the
+               join (and with it any spooled updates) between the
+               operation and this retried prepare. The empty fold in
+               [vote_local_servers] would answer yes-read-only and let
+               the coordinator commit updates that are durable nowhere;
+               presumed abort makes no the only safe vote. *)
+            apply_abort st fam;
+            send st ~dst:m_coordinator
+              (Protocol.Vote { m_tid; m_from = me st; m_vote = Protocol.Vote_no })
+          end
           else begin
             match vote_local_servers st fam with
             | Protocol.Vote_no ->

@@ -8,6 +8,8 @@ let pp_mode ppf = function
 
 let no_timer () = ()
 
+exception Broken
+
 type 'o waiter = {
   w_owner : 'o;
   w_mode : mode;
@@ -371,6 +373,23 @@ let all_held t =
           done)
     t.slots;
   !acc
+
+let break_all t =
+  (* resumes are queued through the engine, so firing them while
+     walking the slot array cannot re-enter the table *)
+  Array.iter
+    (function
+      | None -> ()
+      | Some e ->
+          Queue.iter
+            (fun w ->
+              w.w_cancel ();
+              w.w_abandoned <- true;
+              if Fiber.is_pending w.w_resume then
+                Fiber.resume w.w_resume (Error Broken))
+            e.queue;
+          Queue.clear e.queue)
+    t.slots
 
 let grants t = t.grants
 let contended_grants t = t.contended_grants

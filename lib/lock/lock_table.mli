@@ -27,6 +27,9 @@ type mode = Shared | Exclusive
 
 val pp_mode : Format.formatter -> mode -> unit
 
+(** Raised at a waiter's {!acquire} site by {!break_all}. *)
+exception Broken
+
 type 'o t
 
 (** [create engine ~is_ancestor] builds an empty table.
@@ -61,6 +64,14 @@ val held : 'o t -> owner:'o -> key:string -> mode option
 
 (** Release every lock held by [owner] (transaction end). *)
 val release_all : 'o t -> owner:'o -> unit
+
+(** [break_all t] fails every queued waiter with {!Broken} and empties
+    the wait queues; holders are untouched. A crash of the hosting
+    process must break waits this way: a waiter suspended from a remote
+    caller's fiber is not in the dying site's fiber group, and the
+    restarted server builds a fresh table — without the break it would
+    block forever on a queue nothing ever pumps again. *)
+val break_all : 'o t -> unit
 
 (** [transfer t ~from_ ~to_] moves all of [from_]'s locks to [to_]
     (nested-commit anti-inheritance), merging modes ([Exclusive]

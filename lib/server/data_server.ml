@@ -218,7 +218,12 @@ let execute t tid op =
 
 (* --- crash / recovery --------------------------------------------- *)
 
+(* Fail lock waiters whose fibers survived the site crash (remote
+   callers block inside our lock table on their own site's fiber). *)
+let break_waiters t = Camelot_lock.Lock_table.break_all t.locks
+
 let reset t =
+  break_waiters t;
   t.values <- Hashtbl.create 64;
   t.locks <-
     Camelot_lock.Lock_table.create (Site.engine t.site) ~is_ancestor:Tid.is_ancestor;

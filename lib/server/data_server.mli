@@ -68,6 +68,13 @@ val veto_next : t -> Camelot_core.Tid.t -> unit
     and recovery replayed. *)
 val reset : t -> unit
 
+(** Break every pending lock wait with {!Camelot_lock.Lock_table.Broken}.
+    Called when the hosting site crashes: waiters executing on behalf of
+    remote callers run on the {e caller's} site's fibers, so the crash
+    does not kill them, and {!reset} replaces the lock table — without
+    the break they would block forever. *)
+val break_waiters : t -> unit
+
 (** Re-register callbacks with the (restarted) transaction manager. *)
 val reattach : t -> unit
 

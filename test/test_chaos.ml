@@ -1,7 +1,10 @@
-(* Acceptance tests for the fault-schedule explorer itself: a bounded
-   exploration of the real protocols is clean, the whole pipeline is
-   deterministic and replayable, and a deliberately planted durability
-   bug is caught and shrunk to a minimal schedule. *)
+(* Acceptance tests for the fault-schedule explorer and fuzzer: a
+   bounded exploration of the real protocols is clean, the whole
+   pipeline is deterministic and replayable, a deliberately planted
+   durability bug is caught and shrunk to a minimal schedule, the
+   multi-shot chains commit fault-free up to the paper's 24 sites, the
+   mutators only emit valid replayable tokens, and every persisted
+   corpus entry reproduces its recorded coverage signature. *)
 
 open Camelot_chaos_explorer
 
@@ -82,6 +85,224 @@ let test_injected_bug_caught_and_shrunk () =
         (List.length rr.Explorer.rr_violations))
     r.Explorer.rp_failures
 
+(* --- multi-shot workloads ----------------------------------------- *)
+
+(* Fault-free, every shot of every chain must commit — including the
+   hidden 24-site paper-scale chain — with the full oracle battery
+   (lock hygiene, log discipline, AC1-AC4) silent on every site. *)
+let test_multishot_bare () =
+  List.iter
+    (fun name ->
+      let r =
+        Explorer.run_schedule { Schedule.s_workload = name; s_injections = [] }
+      in
+      List.iter
+        (fun v -> Printf.eprintf "%s: [%s] %s\n" name v.Oracle.v_oracle v.Oracle.v_detail)
+        r.Explorer.rr_violations;
+      Alcotest.(check int)
+        (name ^ " has no violations")
+        0
+        (List.length r.Explorer.rr_violations);
+      Alcotest.(check bool) (name ^ " ran shots") true (r.Explorer.rr_txns <> []);
+      List.iter
+        (fun (t : Workload.txn) ->
+          Alcotest.(check bool)
+            (name ^ ":" ^ t.Workload.x_label ^ " not skipped")
+            false
+            !(t.Workload.x_skipped);
+          Alcotest.(check bool)
+            (name ^ ":" ^ t.Workload.x_label ^ " committed")
+            true
+            (!(t.Workload.x_result) = Some Camelot_core.Protocol.Committed))
+        r.Explorer.rr_txns)
+    [ "multishot-2pc"; "multishot-nb"; "multishot-dep"; "multishot-24" ]
+
+(* --- mutation engine ---------------------------------------------- *)
+
+let check_valid label = function
+  | None -> ()
+  | Some (child : Schedule.t) ->
+      let token = Schedule.to_string child in
+      (match Schedule.of_string token with
+      | None -> Alcotest.failf "%s produced unparseable token: %s" label token
+      | Some back ->
+          Alcotest.(check string)
+            (label ^ " round-trips")
+            token
+            (Schedule.to_string back));
+      Alcotest.(check bool)
+        (label ^ " bounded")
+        true
+        (List.length child.Schedule.s_injections <= Mutate.max_injections)
+
+let test_mutators_valid () =
+  let rng = Camelot_sim.Rng.create ~seed:5 in
+  (* a real injection pool, from a counting run of the NB trio *)
+  let r =
+    Explorer.run_schedule { Schedule.s_workload = "trio-nb"; s_injections = [] }
+  in
+  let pool = Array.of_list (Explorer.singles_for r.Explorer.rr_hits) in
+  Alcotest.(check bool) "pool non-empty" true (Array.length pool > 0);
+  let parent =
+    {
+      Schedule.s_workload = "trio-nb";
+      s_injections = [ pool.(0); pool.(Array.length pool / 2) ];
+    }
+  in
+  for _ = 1 to 200 do
+    check_valid "perturb_hit" (Mutate.perturb_hit rng parent);
+    check_valid "swap_fault" (Mutate.swap_fault rng parent);
+    check_valid "append_injection" (Mutate.append_injection rng ~pool parent)
+  done;
+  (* splice: valid token, and every child injection comes verbatim
+     from one of its two parents *)
+  let b =
+    { Schedule.s_workload = "trio-nb"; s_injections = [ pool.(1); pool.(2) ] }
+  in
+  for _ = 1 to 200 do
+    match Mutate.splice rng parent b with
+    | None -> ()
+    | Some child ->
+        check_valid "splice" (Some child);
+        List.iter
+          (fun inj ->
+            Alcotest.(check bool) "splice injection is from a parent" true
+              (List.mem inj parent.Schedule.s_injections
+              || List.mem inj b.Schedule.s_injections))
+          child.Schedule.s_injections
+  done;
+  (* splicing across workloads is refused *)
+  Alcotest.(check bool) "cross-workload splice refused" true
+    (Mutate.splice rng parent
+       { Schedule.s_workload = "pair-2pc"; s_injections = [ pool.(0) ] }
+    = None)
+
+(* Property: the shrink of a mutated failing schedule still fails —
+   minimisation never loses the failure it is minimising. Uses the
+   planted prepare-force bug as the failure source. *)
+let test_shrink_preserves_failure () =
+  let mutate_config c =
+    c.Camelot_core.State.unsafe_skip_prepare_force <- true
+  in
+  let run = Explorer.run_schedule ~mutate_config in
+  let r0 = run { Schedule.s_workload = "pair-2pc"; s_injections = [] } in
+  let pool = Array.of_list (Explorer.singles_for r0.Explorer.rr_hits) in
+  let rng = Camelot_sim.Rng.create ~seed:17 in
+  let checked = ref 0 and attempts = ref 0 in
+  while !checked < 3 && !attempts < 60 do
+    incr attempts;
+    let inj = pool.(Camelot_sim.Rng.int_below rng (Array.length pool)) in
+    let s = { Schedule.s_workload = "pair-2pc"; s_injections = [ inj ] } in
+    if (run s).Explorer.rr_violations <> [] then
+      let partner () =
+        Some
+          {
+            Schedule.s_workload = "pair-2pc";
+            s_injections =
+              [ pool.(Camelot_sim.Rng.int_below rng (Array.length pool)) ];
+          }
+      in
+      match Mutate.mutate rng ~pool ~partner s with
+      | None -> ()
+      | Some child ->
+          if (run child).Explorer.rr_violations <> [] then begin
+            let shrunk = Explorer.shrink ~run child in
+            incr checked;
+            Alcotest.(check bool)
+              ("shrunk mutant still fails: " ^ Schedule.to_string shrunk)
+              true
+              ((run shrunk).Explorer.rr_violations <> [])
+          end
+  done;
+  Alcotest.(check bool) "found failing mutants to shrink" true (!checked > 0)
+
+(* --- fuzzing ------------------------------------------------------ *)
+
+(* Every persisted corpus entry replays from its token to exactly the
+   coverage signature recorded beside it, and to the same (empty)
+   oracle verdicts, twice over. *)
+let test_corpus_determinism () =
+  let dir = Filename.temp_dir "camelot-corpus" "" in
+  let r = Explorer.fuzz ~budget:150 ~seed:7 ~corpus_dir:dir () in
+  Alcotest.(check bool) "fuzz run clean" true (r.Explorer.rp_failures = []);
+  Alcotest.(check bool) "corpus populated" true (r.Explorer.rp_corpus > 0);
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 4 && String.sub f 0 4 = "cov-")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus files written" true (files <> []);
+  List.iter
+    (fun f ->
+      let ic = open_in (Filename.concat dir f) in
+      let token = input_line ic in
+      let stored_sig = input_line ic in
+      close_in ic;
+      match Schedule.of_string token with
+      | None -> Alcotest.failf "corpus token did not parse: %s" token
+      | Some s ->
+          let r1 = Explorer.run_schedule s in
+          let r2 = Explorer.run_schedule s in
+          Alcotest.(check string)
+            ("replay reproduces stored signature: " ^ token)
+            stored_sig r1.Explorer.rr_signature;
+          Alcotest.(check string)
+            ("second replay identical: " ^ token)
+            r1.Explorer.rr_signature r2.Explorer.rr_signature;
+          Alcotest.(check bool)
+            ("verdicts identical: " ^ token)
+            true
+            (r1.Explorer.rr_violations = r2.Explorer.rr_violations))
+    files
+
+let test_fuzz_deterministic_and_beats_explore () =
+  let fz () = Explorer.fuzz ~budget:300 ~seed:42 () in
+  let r1 = fz () in
+  let r2 = fz () in
+  Alcotest.(check int) "same tuple count" r1.Explorer.rp_tuples
+    r2.Explorer.rp_tuples;
+  Alcotest.(check bool) "same coverage" true
+    (r1.Explorer.rp_coverage = r2.Explorer.rp_coverage);
+  Alcotest.(check bool) "same growth curve" true
+    (r1.Explorer.rp_growth = r2.Explorer.rp_growth);
+  (* at the same budget, coverage guidance reaches strictly more
+     distinct tuples than enumerate+random *)
+  let re = Explorer.explore ~budget:300 ~seed:42 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzz tuples (%d) > explore tuples (%d)"
+       r1.Explorer.rp_tuples re.Explorer.rp_tuples)
+    true
+    (r1.Explorer.rp_tuples > re.Explorer.rp_tuples)
+
+(* The fuzzer finds, shrinks and reports the planted bug; the shrunk
+   token replays to a failure with the bug and to a clean run without
+   it. *)
+let test_fuzz_finds_and_shrinks_bug () =
+  let mutate_config c =
+    c.Camelot_core.State.unsafe_skip_prepare_force <- true
+  in
+  let r = Explorer.fuzz ~mutate_config ~budget:250 ~seed:11 ~max_failures:3 () in
+  Alcotest.(check bool) "fuzzer caught the bug" true
+    (r.Explorer.rp_failures <> []);
+  List.iter
+    (fun f ->
+      let token = Schedule.to_string f.Explorer.fl_shrunk in
+      match Schedule.of_string token with
+      | None -> Alcotest.failf "shrunk token did not parse: %s" token
+      | Some s ->
+          let rr = Explorer.run_schedule ~mutate_config s in
+          Alcotest.(check bool)
+            ("replayed failure still fails: " ^ token)
+            true
+            (rr.Explorer.rr_violations <> []);
+          let clean = Explorer.run_schedule s in
+          Alcotest.(check int)
+            ("clean without the bug: " ^ token)
+            0
+            (List.length clean.Explorer.rr_violations))
+    r.Explorer.rp_failures
+
 let () =
   Alcotest.run "camelot_chaos"
     [
@@ -94,5 +315,26 @@ let () =
             test_exploration_clean_and_deterministic;
           Alcotest.test_case "planted durability bug caught and shrunk" `Quick
             test_injected_bug_caught_and_shrunk;
+        ] );
+      ( "multishot",
+        [
+          Alcotest.test_case "chains commit fault-free up to 24 sites" `Quick
+            test_multishot_bare;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "mutators emit valid bounded tokens" `Quick
+            test_mutators_valid;
+          Alcotest.test_case "shrinking a mutated failure preserves it" `Quick
+            test_shrink_preserves_failure;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "corpus entries replay to stored signatures" `Quick
+            test_corpus_determinism;
+          Alcotest.test_case "deterministic and beats explore at equal budget"
+            `Quick test_fuzz_deterministic_and_beats_explore;
+          Alcotest.test_case "planted bug found and shrunk by fuzzing" `Quick
+            test_fuzz_finds_and_shrinks_bug;
         ] );
     ]
