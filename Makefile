@@ -31,20 +31,21 @@ bench:
 	dune exec bench/main.exe
 
 # Fast CI-friendly pass: one-shot timings for every microbenchmark plus
-# the Part-1 reproduction wall clock and the open-loop sweep points,
-# written as BENCH_5.json (BENCH_4.json is the committed previous-PR
-# baseline it is compared against).
+# the Part-1 reproduction wall clock and the open-loop/shootout sweep
+# points, written as BENCH_6.json (BENCH_5.json is the committed
+# previous-PR baseline it is compared against).
 bench-smoke:
-	dune exec bench/main.exe -- --quick --json BENCH_5.json
+	dune exec bench/main.exe -- --quick --json BENCH_6.json
 
 # Fail if any microbenchmark present in both baselines got more than
 # 25% slower, any closed-loop throughput point more than 8% lower,
 # than the previous baseline — or if a structural guard on the new
 # baseline fails: recovery partition-scaling curve not decreasing,
-# wheel timers not beating the heap at >=100k pending, or the
-# open-loop p99-vs-load series losing its saturation knee.
+# wheel timers not beating the heap at >=100k pending, the open-loop
+# p99-vs-load series losing its saturation knee, or Paxos-F=0 shootout
+# throughput drifting more than 5% from 2PC's.
 bench-compare:
-	dune exec bench/compare.exe -- BENCH_4.json BENCH_5.json
+	dune exec bench/compare.exe -- BENCH_5.json BENCH_6.json
 
 # Formatting gate. The container may not ship ocamlformat; skip (with a
 # note) rather than fail when the tool is absent.

@@ -16,7 +16,7 @@
    Entries appearing in only one file are listed but never fail the
    run, so adding or retiring a benchmark does not break the guard.
 
-   Additionally, three structural guards run on the NEW baseline alone:
+   Additionally, four structural guards run on the NEW baseline alone:
 
    - "... (partitions=N)" entries must strictly decrease as N grows
      (recovery partition scaling — the values are deterministic
@@ -27,7 +27,10 @@
    - the "open-loop: p99 ms (load=N)" series must show a saturation
      knee: the largest p99 at least double the smallest (an open loop
      that no longer saturates, or whose sub-knee latency exploded to
-     meet the post-knee one, is a broken rig).
+     meet the post-knee one, is a broken rig);
+   - "shootout: commit tps (paxos F=0)" must stay within 5% of
+     "shootout: commit tps (2pc)" (the degenerate single-acceptor
+     Paxos Commit must keep collapsing to the 2PC exchange).
 
    Exits 1 iff some shared entry regressed or a structural guard
    failed. *)
@@ -265,6 +268,35 @@ let knee_guard entries =
         1
       end
 
+(* Paxos-parity guard, applied to the NEW baseline alone: at F = 0
+   Paxos Commit has a single self-acceptor and provably degenerates to
+   the 2PC exchange, so its closed-loop shootout throughput must track
+   2PC's within 5%. Larger drift means the degenerate case stopped
+   riding the 2PC fast path — extra messages, forces, or a stall the
+   conformance tests' low concurrency cannot see. The rig is seeded
+   virtual time, so the margin absorbs legitimate scheduling drift
+   from unrelated changes, not run-to-run noise. *)
+let shootout_tps name = "shootout: commit tps (" ^ name ^ ")"
+
+let protocol_guard entries =
+  match
+    ( List.assoc_opt (shootout_tps "2pc") entries,
+      List.assoc_opt (shootout_tps "paxos F=0") entries )
+  with
+  | Some two, Some pax when two > 0.0 ->
+      let drift = Float.abs (pax -. two) /. two in
+      print_newline ();
+      Printf.printf "%-55s %14s %14s\n" "PAXOS F=0 PARITY" "2PC tps"
+        "F=0 tps";
+      let flag =
+        if drift > 0.05 then "  <-- F=0 NOT WITHIN 5% OF 2PC" else ""
+      in
+      Printf.printf "%-55s %14.2f %14.2f%s\n"
+        (Printf.sprintf "drift %.1f%%" (100.0 *. drift))
+        two pax flag;
+      if drift > 0.05 then 1 else 0
+  | _ -> 0
+
 let () =
   let threshold = ref 1.25 in
   let tps_threshold = ref 0.92 in
@@ -311,15 +343,16 @@ let () =
   let scaling_regressions = partition_guard new_entries in
   let wheel_regressions = wheel_guard new_entries in
   let knee_regressions = knee_guard new_entries in
+  let protocol_regressions = protocol_guard new_entries in
   let regressions =
     ns_regressions + tps_regressions + scaling_regressions + wheel_regressions
-    + knee_regressions
+    + knee_regressions + protocol_regressions
   in
   if regressions > 0 then begin
     Printf.printf
       "\n%d entr(y/ies) regressed vs %s (ns > %.2fx, tps < %.2fx, or a \
-       structural guard — partition scaling, wheel-vs-heap, open-loop knee — \
-       failed).\n"
+       structural guard — partition scaling, wheel-vs-heap, open-loop knee, \
+       Paxos-F=0 parity — failed).\n"
       regressions old_path !threshold !tps_threshold;
     exit 1
   end

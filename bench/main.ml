@@ -19,7 +19,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let json_path =
-  let path = ref "BENCH_5.json" in
+  let path = ref "BENCH_6.json" in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
     Sys.argv;
@@ -479,6 +479,23 @@ let open_loop_estimates () =
       ])
     (Camelot_experiments.Open_loop.run ())
 
+(* Protocol-shootout points (virtual time, deterministic): committed
+   transactions per virtual second and protocol messages per
+   transaction for every commit protocol on the closed-loop
+   all-site-update rig. compare.exe holds Paxos-F=0 throughput within
+   5% of 2PC's — the degenerate single-acceptor case must keep riding
+   the 2PC exchange. *)
+let shootout_estimates () =
+  List.concat_map
+    (fun (r : Camelot_experiments.Shootout.row) ->
+      [
+        ( Printf.sprintf "shootout: commit tps (%s)" r.sh_name,
+          Some (float_of_int r.sh_committed /. 20.0) );
+        ( Printf.sprintf "shootout: msgs per txn (%s)" r.sh_name,
+          Some r.sh_msgs_per_txn );
+      ])
+    (Camelot_experiments.Shootout.collect ~horizon_ms:20_000.0 ())
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable baseline *)
 
@@ -535,6 +552,7 @@ let () =
   let repro_wall_clock_s = Unix.gettimeofday () -. t0 in
   let estimates =
     micro_benchmarks () @ recovery_sweep_estimates () @ open_loop_estimates ()
+    @ shootout_estimates ()
   in
   write_baseline ~path:json_path ~repro_wall_clock_s ~throughput estimates;
   print_newline ();

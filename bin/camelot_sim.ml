@@ -225,6 +225,28 @@ let cmds =
                   ~horizon_ms ()
                  : Camelot_experiments.Open_loop.point list))
          $ sites $ mix $ loads $ ol_horizon $ const ()));
+    (let sh_sites =
+       let doc = "Sites per cluster (every transaction updates all of them)." in
+       Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc)
+     in
+     let workers =
+       let doc = "Closed-loop workers per site." in
+       Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+     in
+     let sh_horizon =
+       let doc = "Virtual milliseconds per protocol run." in
+       Arg.(value & opt float 20_000.0 & info [ "horizon" ] ~docv:"MS" ~doc)
+     in
+     experiment "shootout"
+       "Four-way commit-protocol shootout: 2PC, non-blocking, Paxos Commit \
+        (F=0/F=1), short-commit; latency, abort rate, messages/txn."
+       Term.(
+         const (fun sites workers_per_site horizon_ms () ->
+             ignore
+               (Camelot_experiments.Shootout.run ~sites ~workers_per_site
+                  ~horizon_ms ()
+                 : Camelot_experiments.Shootout.row list))
+         $ sh_sites $ workers $ sh_horizon $ const ()));
     (let records =
        let doc = "Log records to replay per partition count." in
        Arg.(value & opt int 100_000 & info [ "records" ] ~docv:"N" ~doc)

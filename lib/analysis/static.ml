@@ -88,17 +88,40 @@ let nonblocking_critical m w =
   else if w.update then datagram m "commit notice" :: local_lock_release m
   else local_lock_release m
 
+(* Paxos Commit at F = 0, the analytical baseline: provably identical
+   to 2PC step for step — the vote travels as a ballot-0 acceptance to
+   the sole acceptor co-located with the coordinator, and the
+   self-acceptance is a local hand-off, not a datagram. Every extra
+   acceptor adds one datagram per vote plus a forced acceptance, off
+   this baseline. *)
+let paxos_completion = two_phase_completion
+
+let paxos_critical = two_phase_critical
+
+(* Short-commit: the decision path is 2PC's (same single coordinator
+   force), but the slowest subordinate's lock-hold ends at prepare
+   receipt, not a full round-trip later. *)
+let short_completion = two_phase_completion
+
+let short_critical m w =
+  if w.subordinates = 0 then two_phase_critical m w
+  else front m w @ [ datagram m "prepare" ] @ local_lock_release m
+
 let completion_path m ~protocol w =
   make
     (match protocol with
     | Camelot_core.Protocol.Two_phase -> two_phase_completion m w
-    | Camelot_core.Protocol.Nonblocking -> nonblocking_completion m w)
+    | Camelot_core.Protocol.Nonblocking -> nonblocking_completion m w
+    | Camelot_core.Protocol.Paxos_commit -> paxos_completion m w
+    | Camelot_core.Protocol.Short_commit -> short_completion m w)
 
 let critical_path m ~protocol w =
   make
     (match protocol with
     | Camelot_core.Protocol.Two_phase -> two_phase_critical m w
-    | Camelot_core.Protocol.Nonblocking -> nonblocking_critical m w)
+    | Camelot_core.Protocol.Nonblocking -> nonblocking_critical m w
+    | Camelot_core.Protocol.Paxos_commit -> paxos_critical m w
+    | Camelot_core.Protocol.Short_commit -> short_critical m w)
 
 let count prefix path =
   List.length

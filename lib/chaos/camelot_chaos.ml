@@ -49,3 +49,15 @@ let deny ~site name =
   | None -> false
   | Some s -> (
       match s.on_hit ~point:name ~site with Pass -> false | Deny | Kill -> true)
+
+(* Per-site protocol-state notes: a short free-form tag (votes still
+   outstanding, quorum side, current ballot) that the explorer folds
+   into the coverage tuple of the next hits at that site. Notes cost
+   one branch when detached and are cleared per run by the explorer. *)
+let notes : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let note ~site tag =
+  if !sink <> None then Hashtbl.replace notes site tag
+
+let noted ~site = Option.value ~default:"" (Hashtbl.find_opt notes site)
+let reset_notes () = Hashtbl.reset notes

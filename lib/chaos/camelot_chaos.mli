@@ -60,6 +60,18 @@ val point : site:int -> string -> unit
     blocks, never raises — safe in raw engine callbacks. *)
 val deny : site:int -> string -> bool
 
+(** [note ~site tag] records a short protocol-state tag for [site]
+    (votes outstanding, quorum side, ballot number). The attached
+    explorer folds the current note into each coverage tuple, widening
+    the coverage signal with protocol state. No-op when detached. *)
+val note : site:int -> string -> unit
+
+(** The current note for [site] ([""] when none). *)
+val noted : site:int -> string
+
+(** Clear every note; the explorer calls this at the start of a run. *)
+val reset_notes : unit -> unit
+
 (** [die ~site ()] crashes [site] via the attached [crash] callback
     and terminates the calling fiber: if the fiber belongs to the
     killed group a yield raises its cancellation; otherwise {!Killed}

@@ -20,7 +20,10 @@ type phase = Workload | Recover | Hammer
 
 let phase_to_char = function Workload -> 'w' | Recover -> 'r' | Hammer -> 'h'
 
-type tuple = { c_point : string; c_hit : int; c_phase : phase }
+(* [c_note] is the hitting site's protocol-state note at hit time
+   (votes outstanding, quorum side, ballot) — "" when none, which keeps
+   pre-note signatures byte-identical. *)
+type tuple = { c_point : string; c_hit : int; c_phase : phase; c_note : string }
 
 (* Hit indices above the cap collapse into one overflow bucket:
    "fired a 13th-or-later time" is one fact, not an unbounded family. *)
@@ -28,10 +31,15 @@ let bucket_cap = 12
 
 let bucket n = if n <= bucket_cap then n else bucket_cap + 1
 
-let tuple ~point ~hit ~phase = { c_point = point; c_hit = bucket hit; c_phase = phase }
+let tuple ?(note = "") ~point ~hit ~phase () =
+  { c_point = point; c_hit = bucket hit; c_phase = phase; c_note = note }
 
 let tuple_to_string t =
-  Printf.sprintf "%s#%d@%c" t.c_point t.c_hit (phase_to_char t.c_phase)
+  if t.c_note = "" then
+    Printf.sprintf "%s#%d@%c" t.c_point t.c_hit (phase_to_char t.c_phase)
+  else
+    Printf.sprintf "%s#%d@%c!%s" t.c_point t.c_hit (phase_to_char t.c_phase)
+      t.c_note
 
 let compare_tuple (a : tuple) (b : tuple) = compare a b
 

@@ -79,6 +79,9 @@ let chaos_config () =
   c.State.subordinate_timeout_ms <- 600.0;
   c.State.takeover_retry_ms <- 300.0;
   c.State.orphan_timeout_ms <- 1200.0;
+  (* paxos workloads run at F = 1 so acceptor death and takeover races
+     are actually reachable; non-paxos workloads ignore the knob *)
+  c.State.paxos_f <- 1;
   c
 
 let cluster_seed = 7
@@ -121,7 +124,10 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
     let k = (point, site) in
     let n = Option.value ~default:0 (Hashtbl.find_opt hits k) + 1 in
     Hashtbl.replace hits k n;
-    Hashtbl.replace tuples (Coverage.tuple ~point ~hit:n ~phase:!phase) ();
+    Hashtbl.replace tuples
+      (Coverage.tuple ~note:(Camelot_chaos.noted ~site) ~point ~hit:n
+         ~phase:!phase ())
+      ();
     if trace then
       Printf.eprintf "[trace] %8.0fms %c %s/%d#%d\n%!"
         (Camelot_sim.Fiber.now ()) (phase_char ()) point site n;
@@ -200,6 +206,7 @@ let run_schedule ?(mutate_config = fun (_ : State.config) -> ()) (s : Schedule.t
     loop ()
   in
   Camelot_chaos.attach ~on_hit ~crash;
+  Camelot_chaos.reset_notes ();
   let txns_cell = ref [] in
   Fun.protect ~finally:Camelot_chaos.detach (fun () ->
       Camelot_sim.Fiber.run (Camelot.Cluster.engine c) (fun () ->
@@ -577,6 +584,12 @@ let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
            ~signature:r.rr_signature
           : bool)
   in
+  (* per-workload fresh-tuple yield, for the sweep's energy scores *)
+  let wyield : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let note_yield name fresh =
+    Hashtbl.replace wyield name
+      (Option.value ~default:0 (Hashtbl.find_opt wyield name) + fresh)
+  in
   (* counting runs: pools + the bare schedules as corpus roots *)
   let pools : (string, Schedule.injection array) Hashtbl.t =
     Hashtbl.create 16
@@ -587,6 +600,7 @@ let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
         let r, fresh =
           search_exec sr { Schedule.s_workload = name; s_injections = [] }
         in
+        note_yield name fresh;
         consider r;
         admit r fresh;
         let singles = singles_for r.rr_hits in
@@ -602,6 +616,7 @@ let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
         && s.Schedule.s_injections <> []
       then begin
         let r, fresh = search_exec sr s in
+        note_yield s.Schedule.s_workload fresh;
         consider r;
         admit r fresh
       end)
@@ -623,30 +638,76 @@ let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
       let inj = pool.(Camelot_sim.Rng.int_below rng (Array.length pool)) in
       Some { Schedule.s_workload = name; s_injections = [ inj ] }
   in
+  (* deterministic singles, yield-ordered: every (workload, single)
+     pair at most once, drawn greedily from the workload with the best
+     fresh-tuples-per-run average so far (optimistic +1 prior). This
+     is explore's enumeration with AFL-style energy assignment — the
+     budget flows to whatever workload keeps producing new coverage
+     instead of marching through the list in declaration order. *)
+  let sweep : (string, Schedule.injection list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iter
+    (fun (name, p) -> Hashtbl.replace sweep name (ref (Array.to_list p)))
+    pool_arr;
+  let wscore name =
+    let y = Option.value ~default:0 (Hashtbl.find_opt wyield name) in
+    let n = Option.value ~default:0 (Hashtbl.find_opt sr.sr_wruns name) in
+    float_of_int (y + 1) /. float_of_int (n + 1)
+  in
+  let next_sweep () =
+    let best =
+      Array.fold_left
+        (fun acc (name, _) ->
+          match Hashtbl.find_opt sweep name with
+          | None | Some { contents = [] } -> acc
+          | Some _ -> (
+              match acc with
+              | Some b when wscore b >= wscore name -> acc
+              | _ -> Some name))
+        None pool_arr
+    in
+    match best with
+    | None -> None
+    | Some name -> (
+        match Hashtbl.find_opt sweep name with
+        | None | Some { contents = [] } -> None
+        | Some l ->
+            let i = List.hd !l in
+            l := List.tl !l;
+            Some { Schedule.s_workload = name; s_injections = [ i ] })
+  in
+  let mutated () =
+    match Corpus.pick corpus rng with
+    | None -> random_single ()
+    | Some e -> (
+        let s = e.Corpus.e_schedule in
+        let pool =
+          Option.value ~default:[||]
+            (Hashtbl.find_opt pools s.Schedule.s_workload)
+        in
+        let partner () =
+          Option.map
+            (fun e -> e.Corpus.e_schedule)
+            (Corpus.pick_for_workload corpus rng s.Schedule.s_workload)
+        in
+        match Mutate.mutate rng ~pool ~partner s with
+        | Some child -> Some child
+        | None -> random_single ())
+  in
   let exhausted = ref (Array.length pool_arr = 0 && Corpus.size corpus = 0) in
   while not (search_give_up sr || !exhausted) do
+    (* the enumeration guarantees breadth and feeds the corpus (every
+       fresh-tuple child is admitted); mutation owns the long tail
+       after it *)
     let child =
-      match Corpus.pick corpus rng with
-      | None -> random_single ()
-      | Some e -> (
-          let s = e.Corpus.e_schedule in
-          let pool =
-            Option.value ~default:[||]
-              (Hashtbl.find_opt pools s.Schedule.s_workload)
-          in
-          let partner () =
-            Option.map
-              (fun e -> e.Corpus.e_schedule)
-              (Corpus.pick_for_workload corpus rng s.Schedule.s_workload)
-          in
-          match Mutate.mutate rng ~pool ~partner s with
-          | Some child -> Some child
-          | None -> random_single ())
+      match next_sweep () with Some s -> Some s | None -> mutated ()
     in
     match child with
     | None -> exhausted := true
     | Some child ->
         let r, fresh = search_exec sr child in
+        note_yield child.Schedule.s_workload fresh;
         consider r;
         admit r fresh
   done;

@@ -81,6 +81,8 @@ let facts_of_log log =
       match r with
       | Record.Update u -> (get u.Record.u_tid).has_update <- true
       | Record.Collecting _ -> ()
+      (* acceptor-side paxos state never decides anything by itself *)
+      | Record.Paxos_promised _ | Record.Paxos_accepted _ -> ()
       | Record.Checkpoint { ck_families; _ } ->
           (* family images summarize truncated records: seed the marks
              they stand in for, at the checkpoint's own LSN (first-wins,

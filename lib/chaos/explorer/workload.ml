@@ -92,6 +92,29 @@ let pair_2pc c =
       ~writes:[ (1, "b1", 21); (0, "a1", 22) ];
   ]
 
+(* Two crossing three-site transactions under Paxos Commit: with the
+   explorer's F = 1 every site is an acceptor, so injections land on
+   forced acceptances, ballot conflicts and recovery-coordinator
+   takeovers. *)
+let trio_paxos c =
+  [
+    start_txn c ~label:"x0" ~protocol:Protocol.Paxos_commit ~origin:0
+      ~writes:[ (0, "xa0", 131); (1, "xb0", 132); (2, "xc0", 133) ];
+    start_txn c ~label:"x1" ~protocol:Protocol.Paxos_commit ~origin:1
+      ~writes:[ (1, "xb1", 141); (2, "xc1", 142) ];
+  ]
+
+(* Two crossing two-site transactions under short-commit: locks drop
+   at prepare time, so injections land between the early release and
+   the (unacknowledged) commit notice — the conditional-undo window. *)
+let pair_short c =
+  [
+    start_txn c ~label:"s0" ~protocol:Protocol.Short_commit ~origin:0
+      ~writes:[ (0, "sa0", 151); (1, "sb0", 152) ];
+    start_txn c ~label:"s1" ~protocol:Protocol.Short_commit ~origin:1
+      ~writes:[ (1, "sb1", 161); (0, "sa1", 162) ];
+  ]
+
 (* Two crossing three-site transactions under the non-blocking
    protocol: quorums are majorities of three. *)
 let trio_nb c =
@@ -315,6 +338,12 @@ let all =
     { w_name = "trio-nb"; w_protocol = Protocol.Nonblocking; w_sites = 3;
       w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
       w_recovery_partitions = 1; w_start = trio_nb };
+    { w_name = "trio-paxos"; w_protocol = Protocol.Paxos_commit; w_sites = 3;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = trio_paxos };
+    { w_name = "pair-short"; w_protocol = Protocol.Short_commit; w_sites = 2;
+      w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
+      w_recovery_partitions = 1; w_start = pair_short };
     { w_name = "nested"; w_protocol = Protocol.Two_phase; w_sites = 2;
       w_logger = fixed; w_checkpoint_every = None; w_dep_logging = false;
       w_recovery_partitions = 1; w_start = nested };

@@ -117,6 +117,7 @@ let coordinate st fam =
                   p_coordinator = me st;
                   p_protocol = Protocol.Nonblocking;
                   p_sites = all_sites;
+                  p_acceptors = [];
                 })
             : int);
         fam.f_prepared <- true;
@@ -129,6 +130,7 @@ let coordinate st fam =
               m_protocol = Protocol.Nonblocking;
               m_sites = all_sites;
               m_commit_quorum = quorum;
+              m_acceptors = [];
             }
         in
         fan_out st ~dsts:subs prepare_msg;
@@ -145,6 +147,7 @@ let coordinate st fam =
               Two_phase.abort_distributed st fam ~subs
             end
             else begin
+              Camelot_chaos.point ~site:(me st) Two_phase.p_votes_collected;
               let ro_subs = votes.Two_phase.read_only_subs in
               let update_subs = List.filter (fun s -> not (List.mem s ro_subs)) subs in
               if update_subs = [] && local_ro && st.config.read_only_optimization
@@ -185,6 +188,7 @@ let coordinate st fam =
                                   r_update_sites = fam.f_update_sites;
                                 })
                             : int);
+                        Camelot_chaos.note ~site:(me st) "qc";
                         Camelot_chaos.point ~site:(me st) p_replication_forced;
                         fam.f_quorum_side <- Q_commit;
                         true
@@ -290,7 +294,13 @@ let adopt st fam outcome =
   | Protocol.Aborted -> if fam.f_outcome = None then Subordinate.apply_abort st fam);
   (* push the outcome; peers that miss it will inquire and learn it *)
   let outcome_msg =
-    Protocol.Outcome { m_tid = tid; m_from = me st; m_outcome = outcome }
+    Protocol.Outcome
+      {
+        m_tid = tid;
+        m_from = me st;
+        m_outcome = outcome;
+        m_protocol = fam.f_protocol;
+      }
   in
   fan_out st ~dsts:peers outcome_msg;
   Site.spawn st.site ~name:"takeover-renotify" (fun () ->
@@ -339,6 +349,7 @@ let takeover st fam =
                   if fam.f_quorum_side = Q_none && fam.f_outcome = None then begin
                     ignore
                       (log_append_force st (Record.Refusal { f_tid = tid }) : int);
+                    Camelot_chaos.note ~site:(me st) "qa";
                     Camelot_chaos.point ~site:(me st) p_refusal_forced;
                     fam.f_quorum_side <- Q_abort
                   end;

@@ -8,10 +8,19 @@ type outcome = Committed | Aborted
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** Which commit protocol a prepare belongs to. *)
-type commit_protocol = Two_phase | Nonblocking
+(** Which commit protocol a prepare belongs to. [Paxos_commit] is Gray
+    & Lamport's Consensus on Transaction Commit: each participant's
+    vote is a ballot-0 Paxos instance decided by 2F+1 acceptors, so a
+    recovery coordinator can finish the commit after the leader dies.
+    [Short_commit] is the one-round early-release variant: locks drop
+    at prepare time, the commit decision travels unacknowledged. *)
+type commit_protocol = Two_phase | Nonblocking | Paxos_commit | Short_commit
 
 val pp_commit_protocol : Format.formatter -> commit_protocol -> unit
+
+(** Parse a protocol name as used on CLIs: "2pc", "nb", "paxos",
+    "short" (plus long spellings). *)
+val commit_protocol_of_string : string -> commit_protocol option
 
 (** A subordinate's vote. [Vote_yes] with [read_only = true] means the
     site wrote nothing for this transaction: it drops its locks
@@ -38,6 +47,8 @@ type t =
       m_protocol : commit_protocol;
       m_sites : Camelot_mach.Site.id list;  (** non-blocking: all participants *)
       m_commit_quorum : int;  (** non-blocking: replication-quorum size *)
+      m_acceptors : Camelot_mach.Site.id list;
+          (** paxos: the 2F+1 acceptor set; empty for other protocols *)
     }
   | Vote of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_vote : vote }
   | Replicate of {
@@ -47,7 +58,14 @@ type t =
       m_update_sites : Camelot_mach.Site.id list;
     }
   | Replicate_ack of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
-  | Outcome of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_outcome : outcome }
+  | Outcome of {
+      m_tid : Tid.t;
+      m_from : Camelot_mach.Site.id;
+      m_outcome : outcome;
+      m_protocol : commit_protocol;
+          (** which protocol decided — a receiver with no live family
+              needs it to pick the right acknowledgement discipline *)
+    }
   | Outcome_ack of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
   | Inquiry of { m_tid : Tid.t; m_from : Camelot_mach.Site.id }
   | Status of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_status : status }
@@ -57,8 +75,37 @@ type t =
   | Child_finish of { m_tid : Tid.t; m_outcome : outcome }
       (** nested subtransaction resolution, pushed to every site the
           child touched *)
+  | Paxos_accept of {
+      m_tid : Tid.t;
+      m_from : Camelot_mach.Site.id;
+      m_instance : Camelot_mach.Site.id;
+      m_ballot : int;
+      m_vote : vote;
+      m_leader : Camelot_mach.Site.id;
+    }
+      (** phase 2a of instance [m_instance]: a participant casts its
+          vote at ballot 0, or a recovery coordinator proposes at a
+          higher ballot. Acceptors report to [m_leader]. *)
+  | Paxos_accepted of {
+      m_tid : Tid.t;
+      m_from : Camelot_mach.Site.id;
+      m_instance : Camelot_mach.Site.id;
+      m_ballot : int;
+      m_vote : vote;
+    }  (** phase 2b: an acceptor's durable acceptance, sent to the leader *)
+  | Paxos_prepare of { m_tid : Tid.t; m_from : Camelot_mach.Site.id; m_ballot : int }
+      (** phase 1a from a recovery coordinator, covering all instances *)
+  | Paxos_promise of {
+      m_tid : Tid.t;
+      m_from : Camelot_mach.Site.id;
+      m_ballot : int;
+      m_accepted : (Camelot_mach.Site.id * int * vote) list;
+    }
+      (** phase 1b: promise plus every (instance, ballot, vote) this
+          acceptor has accepted *)
 
 (** The transaction the message is about. *)
 val tid : t -> Tid.t
 
+val pp_vote : Format.formatter -> vote -> unit
 val pp : Format.formatter -> t -> unit

@@ -27,6 +27,9 @@ type family_image = {
   fi_outcome : Protocol.outcome option;
   fi_servers : string list;
   fi_ended : bool;
+  fi_acceptors : Camelot_mach.Site.id list;
+  fi_pax_ballot : int;
+  fi_pax_accepted : (Camelot_mach.Site.id * int * Protocol.vote) list;
 }
 
 type t =
@@ -42,15 +45,27 @@ type t =
              starts at this checkpoint rebuild chain continuity for the
              records the truncation dropped. *)
     }
-  | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
+  | Collecting of {
+      g_tid : Tid.t;
+      g_sites : Camelot_mach.Site.id list;
+      g_protocol : Protocol.commit_protocol;
+    }
   | Prepare of {
       p_tid : Tid.t;
       p_coordinator : Camelot_mach.Site.id;
       p_protocol : Protocol.commit_protocol;
       p_sites : Camelot_mach.Site.id list;
+      p_acceptors : Camelot_mach.Site.id list;
     }
   | Commit of { c_tid : Tid.t; c_sites : Camelot_mach.Site.id list }
   | Abort of { a_tid : Tid.t }
+  | Paxos_promised of { pp_tid : Tid.t; pp_ballot : int }
+  | Paxos_accepted of {
+      pa_tid : Tid.t;
+      pa_instance : Camelot_mach.Site.id;
+      pa_ballot : int;
+      pa_vote : Protocol.vote;
+    }
   | Replication of {
       r_tid : Tid.t;
       r_coordinator : Camelot_mach.Site.id;
@@ -68,6 +83,8 @@ let tid = function
   | Prepare p -> p.p_tid
   | Commit c -> c.c_tid
   | Abort a -> a.a_tid
+  | Paxos_promised p -> p.pp_tid
+  | Paxos_accepted p -> p.pa_tid
   | Replication r -> r.r_tid
   | Refusal f -> f.f_tid
   | End e -> e.e_tid
@@ -78,7 +95,8 @@ let pp ppf = function
         (List.length ck_values) (List.length ck_active)
         (List.length ck_families)
   | Collecting g ->
-      Format.fprintf ppf "Collecting(%a sites=[%s])" Tid.pp g.g_tid
+      Format.fprintf ppf "Collecting(%a %a sites=[%s])" Tid.pp g.g_tid
+        Protocol.pp_commit_protocol g.g_protocol
         (String.concat "," (List.map string_of_int g.g_sites))
   | Update u ->
       (* the dep suffix only ever appears in dependency-log mode, so
@@ -97,6 +115,11 @@ let pp ppf = function
       Format.fprintf ppf "Commit(%a sites=[%s])" Tid.pp c.c_tid
         (String.concat "," (List.map string_of_int c.c_sites))
   | Abort a -> Format.fprintf ppf "Abort(%a)" Tid.pp a.a_tid
+  | Paxos_promised p ->
+      Format.fprintf ppf "PaxosPromised(%a b=%d)" Tid.pp p.pp_tid p.pp_ballot
+  | Paxos_accepted p ->
+      Format.fprintf ppf "PaxosAccepted(%a inst=%d b=%d %a)" Tid.pp p.pa_tid
+        p.pa_instance p.pa_ballot Protocol.pp_vote p.pa_vote
   | Replication r ->
       Format.fprintf ppf "Replication(%a coord=%d sites=[%s] upd=[%s])" Tid.pp
         r.r_tid r.r_coordinator

@@ -60,6 +60,11 @@ type family_image = {
   fi_outcome : Protocol.outcome option;
   fi_servers : string list;
   fi_ended : bool;
+  fi_acceptors : Camelot_mach.Site.id list;
+      (** paxos: the 2F+1 acceptor set ([] for other protocols) *)
+  fi_pax_ballot : int;  (** paxos acceptor: highest promised ballot *)
+  fi_pax_accepted : (Camelot_mach.Site.id * int * Protocol.vote) list;
+      (** paxos acceptor: accepted (instance, ballot, vote) triples *)
 }
 
 type t =
@@ -83,19 +88,41 @@ type t =
           the checkpoint), and protocol images of the families not yet
           forgotten — everything recovery needs when the log below the
           checkpoint has been truncated *)
-  | Collecting of { g_tid : Tid.t; g_sites : Camelot_mach.Site.id list }
-      (** presumed commit only: forced by the coordinator before any
-          prepare message, so a recovering coordinator knows the
-          transaction was in progress (and must be aborted and
-          remembered) rather than committed-and-forgotten *)
+  | Collecting of {
+      g_tid : Tid.t;
+      g_sites : Camelot_mach.Site.id list;
+      g_protocol : Protocol.commit_protocol;
+    }
+      (** forced by the coordinator before any prepare message, under
+          presumed commit (any protocol) and always under short-commit,
+          so a recovering coordinator knows the transaction was in
+          progress (and must be aborted and remembered) rather than
+          committed-and-forgotten. [g_protocol] disambiguates which
+          protocol's recovery rules apply. *)
   | Prepare of {
       p_tid : Tid.t;
       p_coordinator : Camelot_mach.Site.id;
       p_protocol : Protocol.commit_protocol;
       p_sites : Camelot_mach.Site.id list;  (** non-blocking: full site list *)
+      p_acceptors : Camelot_mach.Site.id list;
+          (** paxos: the 2F+1 acceptor set; empty for other protocols *)
     }
   | Commit of { c_tid : Tid.t; c_sites : Camelot_mach.Site.id list }
   | Abort of { a_tid : Tid.t }
+  | Paxos_promised of { pp_tid : Tid.t; pp_ballot : int }
+      (** paxos acceptor: forced before answering a phase-1a prepare,
+          so the promise survives a crash *)
+  | Paxos_accepted of {
+      pa_tid : Tid.t;
+      pa_instance : Camelot_mach.Site.id;
+      pa_ballot : int;
+      pa_vote : Protocol.vote;
+    }
+      (** paxos acceptor: forced before the phase-2b report when F >= 1
+          (the acceptance is the replicated vote); spooled in the F = 0
+          degenerate case, where the sole co-located acceptor adds no
+          durability beyond the coordinator's own records — that is what
+          collapses Paxos Commit to 2PC's force count *)
   | Replication of {
       r_tid : Tid.t;
       r_coordinator : Camelot_mach.Site.id;

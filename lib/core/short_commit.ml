@@ -1,0 +1,82 @@
+(* The short-commit variant: one-round commitment with early lock
+   release. Locks drop at prepare time — before the outcome is known —
+   while undo information is retained, so readers see tentative values
+   a later abort must compensate for (the data servers restore an
+   undone value only when it is still the one this family wrote). The
+   commit notice travels unacknowledged, which makes the fault-free
+   commit path 3N messages against 2PC's 4N; the price is
+   presumed-commit-style aborts (forced and acknowledged) and a
+   collecting record forced before any prepare, because a forgotten
+   coordinator implies commit. *)
+
+open State
+
+(* Idempotent re-registrations: same spellings as the other
+   coordinators' points. *)
+let p_prepare_sent = Camelot_chaos.register "coord.prepare.sent"
+let p_release_early = Camelot_chaos.register "short.release.early"
+
+let coordinate st fam =
+  let tid = fam.f_root in
+  let local_vote = vote_local_servers st fam in
+  let subs = fam.f_remote_sites in
+  if subs <> [] then st.stats.n_distributed <- st.stats.n_distributed + 1;
+  match local_vote with
+  | Protocol.Vote_no -> Two_phase.abort_distributed st fam ~subs
+  | Protocol.Vote_yes { read_only = local_ro } ->
+      if subs = [] then Two_phase.commit_local st fam ~read_only:local_ro
+      else begin
+        let mb = register_waiter st tid in
+        fam.f_prepared <- true;
+        fam.f_sites <- me st :: subs;
+        (* always forced (not only under presumed commit): the
+           undecided state must survive a coordinator crash, or a
+           recovering coordinator would answer inquiries "unknown" —
+           which short-commit subordinates read as commit *)
+        ignore
+          (log_append_force st
+             (Record.Collecting
+                { g_tid = tid; g_sites = subs; g_protocol = Protocol.Short_commit })
+            : int);
+        (* the short-commit bargain: this site's locks drop at prepare
+           time, before the outcome is known *)
+        release_local_locks st fam;
+        Camelot_chaos.point ~site:(me st) p_release_early;
+        let prepare_msg =
+          Protocol.Prepare
+            {
+              m_tid = tid;
+              m_coordinator = me st;
+              m_protocol = Protocol.Short_commit;
+              m_sites = subs;
+              m_commit_quorum = 0;
+              m_acceptors = [];
+            }
+        in
+        fan_out st ~dsts:subs prepare_msg;
+        Camelot_chaos.point ~site:(me st) p_prepare_sent;
+        let votes = Two_phase.collect_votes st fam mb ~subs ~prepare_msg in
+        if votes.Two_phase.refused || votes.Two_phase.n_pending > 0 then begin
+          unregister_waiter st tid;
+          Two_phase.abort_distributed st fam ~subs
+        end
+        else begin
+          Camelot_chaos.point ~site:(me st) Two_phase.p_votes_collected;
+          let update_subs =
+            List.filter
+              (fun s -> not (List.mem s votes.Two_phase.read_only_subs))
+              subs
+          in
+          if update_subs = [] && local_ro && st.config.read_only_optimization
+          then begin
+            (* wholly read-only: nothing further to log, no second
+               phase (same as 2PC; the stray collecting record aborts
+               harmlessly on recovery — there is nothing to undo) *)
+            unregister_waiter st tid;
+            resolve_family st fam Protocol.Committed;
+            drop_local_locks st fam;
+            Protocol.Committed
+          end
+          else Two_phase.commit_decided st fam ~update_subs
+        end
+      end

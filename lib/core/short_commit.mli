@@ -1,0 +1,12 @@
+(** The short-commit one-round early-release variant (internal;
+    selected per commit call through {!Tranman.commit}): locks drop at
+    prepare time while undo information is retained, the commit notice
+    travels unacknowledged (3N messages against 2PC's 4N on the
+    fault-free commit path), and aborts follow the presumed-commit
+    discipline — forced and acknowledged, behind an always-forced
+    collecting record, because a forgotten coordinator implies
+    commit. *)
+
+(** Run the protocol as the original coordinator; blocks (on a worker
+    thread) until the outcome is decided. *)
+val coordinate : State.t -> State.family -> Protocol.outcome

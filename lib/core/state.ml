@@ -55,6 +55,11 @@ type config = {
       (* deliberate bug knob for the chaos explorer's self-test: spool
          the subordinate's prepare record instead of forcing it, so a
          crash between vote and outcome loses the prepared state *)
+  mutable paxos_f : int;
+      (* paxos commit: tolerated acceptor failures; the acceptor set is
+         the first 2F+1 of coordinator :: participants. F = 0 keeps the
+         sole acceptor co-located with the coordinator and collapses to
+         2PC's message and force counts *)
 }
 
 let default_config ?(threads = 5) () =
@@ -73,6 +78,7 @@ let default_config ?(threads = 5) () =
     commit_quorum = None;
     orphan_timeout_ms = 10_000.0;
     unsafe_skip_prepare_force = false;
+    paxos_f = 0;
   }
 
 (* An independent mutable copy (each site owns its configuration). *)
@@ -90,6 +96,9 @@ type server_callbacks = {
   sv_commit : Tid.t -> unit;  (* family committed: drop locks, discard undo *)
   sv_abort : Tid.t -> unit;  (* undo the subtree rooted at tid, drop its locks *)
   sv_subcommit : Tid.t -> unit;  (* nested commit: anti-inherit to parent *)
+  sv_release : Tid.t -> unit;
+      (* short-commit early release: drop the family's locks but KEEP
+         its undo information — the outcome is still undecided *)
 }
 
 (* Per-transaction descriptor inside a family (paper §3.4: a hash table
@@ -127,6 +136,13 @@ type family = {
   mutable f_ended : bool;  (* an End record was written: fully forgotten *)
   mutable f_watchdog : bool;  (* a timeout watcher is running *)
   mutable f_orphan_watch : bool;  (* an orphan watcher is running *)
+  mutable f_acceptors : Site.id list;  (* paxos: the 2F+1 acceptor set *)
+  mutable f_pax_ballot : int;
+      (* paxos acceptor: highest ballot promised or accepted; 0 is the
+         participants' own vote ballot, takeovers go higher *)
+  mutable f_pax_accepted : (Site.id * int * Protocol.vote) list;
+      (* paxos acceptor: per-instance (participant, ballot, vote)
+         acceptances, newest ballot wins per instance *)
 }
 
 type stats = {
@@ -208,6 +224,9 @@ let new_family st ~root ~role ~protocol =
       f_ended = false;
       f_watchdog = false;
       f_orphan_watch = false;
+      f_acceptors = [];
+      f_pax_ballot = 0;
+      f_pax_accepted = [];
     }
   in
   Hashtbl.replace fam.f_members root
@@ -247,11 +266,24 @@ let unresolved_children fam =
 
 let endpoint_of st site_id = Hashtbl.find_opt st.directory site_id
 
+(* Message accounting hook: the shootout experiment and the
+   message-count conformance test install one to tally datagrams per
+   transaction. Fires once per destination, for unicast, piggybacked
+   and multicast sends alike. *)
+let on_send : (src:Site.id -> dst:Site.id -> Protocol.t -> unit) option ref =
+  ref None
+
+let count_send st ~dst msg =
+  match !on_send with
+  | None -> ()
+  | Some f -> f ~src:(Site.id st.site) ~dst msg
+
 let send st ~dst msg =
   match endpoint_of st dst with
   | None -> tracef st "send" "no endpoint for site %d" dst
   | Some ep ->
       tracef st "send" "-> %d: %a" dst Protocol.pp msg;
+      count_send st ~dst msg;
       Camelot_net.Lan.send st.lan ~src:st.site ep msg
 
 let send_piggybacked st ~dst msg =
@@ -259,6 +291,7 @@ let send_piggybacked st ~dst msg =
   | None -> ()
   | Some ep ->
       tracef st "send" "-> %d (piggyback): %a" dst Protocol.pp msg;
+      count_send st ~dst msg;
       Camelot_net.Lan.send_piggybacked st.lan ~src:st.site ep msg
 
 (* Coordinator fan-out: one multicast or a serialized train of unicasts
@@ -269,6 +302,7 @@ let fan_out st ~dsts msg =
     tracef st "send" "multicast -> [%s]: %a"
       (String.concat "," (List.map string_of_int dsts))
       Protocol.pp msg;
+    List.iter (fun dst -> count_send st ~dst msg) dsts;
     Camelot_net.Lan.multicast st.lan ~src:st.site eps msg
   end
   else List.iter (fun dst -> send st ~dst msg) dsts
@@ -334,6 +368,20 @@ let drop_local_locks st fam =
       | Some cb ->
           Rpc.oneway_ipc st.site;
           cb.sv_commit tid)
+    fam.f_servers
+
+(* Short-commit early release: drop the family's locks at every joined
+   local server while keeping undo information (the decision is still
+   out; an abort must still restore). *)
+let release_local_locks st fam =
+  let tid = fam.f_root in
+  List.iter
+    (fun name ->
+      match server_callbacks st name with
+      | None -> ()
+      | Some cb ->
+          Rpc.oneway_ipc st.site;
+          cb.sv_release tid)
     fam.f_servers
 
 (* Undo the family's local effects. *)

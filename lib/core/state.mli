@@ -45,6 +45,11 @@ type config = {
   mutable unsafe_skip_prepare_force : bool;
       (** deliberate bug knob for the chaos explorer's self-test: spool
           the prepare record instead of forcing it *)
+  mutable paxos_f : int;
+      (** paxos commit: tolerated acceptor failures. The acceptor set is
+          the first 2F+1 of coordinator :: participants; [0] keeps the
+          sole acceptor co-located with the coordinator and collapses to
+          2PC's message and force counts. *)
 }
 
 val default_config : ?threads:int -> unit -> config
@@ -59,6 +64,9 @@ type server_callbacks = {
   sv_commit : Tid.t -> unit;
   sv_abort : Tid.t -> unit;
   sv_subcommit : Tid.t -> unit;
+  sv_release : Tid.t -> unit;
+      (** short-commit early release: drop the family's locks but keep
+          its undo information (the outcome is still undecided) *)
 }
 
 (** Per-transaction descriptor inside a family. *)
@@ -95,6 +103,12 @@ type family = {
   mutable f_ended : bool;  (** an End record was written: fully forgotten *)
   mutable f_watchdog : bool;
   mutable f_orphan_watch : bool;
+  mutable f_acceptors : Site.id list;  (** paxos: the 2F+1 acceptor set *)
+  mutable f_pax_ballot : int;
+      (** paxos acceptor: highest promised/accepted ballot (0 = the
+          participants' own vote ballot) *)
+  mutable f_pax_accepted : (Site.id * int * Protocol.vote) list;
+      (** paxos acceptor: (instance, ballot, vote) acceptances *)
 }
 
 type stats = {
@@ -159,6 +173,11 @@ val unresolved_children : family -> Tid.t list
 
 (** {1 Messaging} *)
 
+(** Message accounting hook: installed by the shootout experiment and
+    the message-count conformance test to tally datagrams. Fires once
+    per destination for unicast, piggybacked and multicast sends. *)
+val on_send : (src:Site.id -> dst:Site.id -> Protocol.t -> unit) option ref
+
 val send : t -> dst:Site.id -> Protocol.t -> unit
 val send_piggybacked : t -> dst:Site.id -> Protocol.t -> unit
 
@@ -184,6 +203,10 @@ val vote_local_servers : t -> family -> Protocol.vote
 
 (** One-way drop-locks message to every joined local server. *)
 val drop_local_locks : t -> family -> unit
+
+(** Short-commit early release: drop the family's locks at every
+    joined local server, keeping undo information. *)
+val release_local_locks : t -> family -> unit
 
 (** Undo the family at every joined local server. *)
 val abort_local : t -> family -> unit

@@ -1,9 +1,10 @@
-(* Subordinate-side handling of commit-protocol messages, shared by the
-   two-phase (§3.2) and non-blocking (§3.3) protocols: voting on a
-   prepare, writing replication records, applying outcomes under the
-   three write-variants, answering status inquiries, and the
-   timeout-driven escape hatches (inquiry loop for 2PC, takeover hook
-   for non-blocking). *)
+(* Subordinate-side handling of commit-protocol messages, shared by all
+   four protocols: voting on a prepare, writing replication records,
+   the Paxos Commit acceptor (phase 1b/2b with its force discipline),
+   short-commit's early lock release, applying outcomes under the three
+   write-variants, answering status inquiries, and the timeout-driven
+   escape hatches (inquiry loop for 2PC/short-commit, takeover hooks
+   for non-blocking and Paxos Commit). *)
 
 open Camelot_sim
 open Camelot_mach
@@ -15,6 +16,9 @@ let p_vote_sent = Camelot_chaos.register "sub.vote.sent"
 let p_commit_applied = Camelot_chaos.register "sub.commit.applied"
 let p_abort_applied = Camelot_chaos.register "sub.abort.applied"
 let p_replication_forced = Camelot_chaos.register "sub.replication.forced"
+let p_accept_forced = Camelot_chaos.register "paxos.accept.forced"
+let p_ballot_conflict = Camelot_chaos.register "paxos.ballot.conflict"
+let p_release_early = Camelot_chaos.register "short.release.early"
 
 (* --------------------------------------------------------------- *)
 (* Applying a decided outcome at a subordinate *)
@@ -30,12 +34,14 @@ let apply_commit st fam ~ack_to =
   let commit_rec = Record.Commit { c_tid = tid; c_sites = [] } in
   resolve_family st fam Protocol.Committed;
   if
-    fam.f_protocol = Protocol.Two_phase
-    && st.config.presumption = Presume_commit
+    (fam.f_protocol = Protocol.Two_phase
+    && st.config.presumption = Presume_commit)
+    || fam.f_protocol = Protocol.Short_commit
   then begin
-    (* presumed commit: no acknowledgement exists; the commit record
-       need never be forced (an inquiry to a forgotten coordinator
-       presumes commit anyway) *)
+    (* presumed commit — and short-commit, whose commit notices travel
+       unacknowledged by construction: no acknowledgement exists; the
+       commit record need never be forced (an inquiry to a forgotten
+       coordinator presumes commit anyway) *)
     drop_local_locks st fam;
     ignore (log_append st commit_rec : int)
   end
@@ -64,12 +70,14 @@ let apply_abort st fam =
   Camelot_chaos.point ~site:(me st) p_abort_applied;
   resolve_family st fam Protocol.Aborted;
   if
-    fam.f_protocol = Protocol.Two_phase
-    && st.config.presumption = Presume_commit
+    ((fam.f_protocol = Protocol.Two_phase
+     && st.config.presumption = Presume_commit)
+    || fam.f_protocol = Protocol.Short_commit)
     && fam.f_prepared
   then begin
-    (* presumed commit: the abort must survive a crash (a lost abort
-       record would later be presumed committed) and must be
+    (* presumed commit — and short-commit, where a forgotten
+       coordinator implies commit: the abort must survive a crash (a
+       lost abort record would later be presumed committed) and must be
        acknowledged so the coordinator may forget *)
     ignore (log_append_force st (Record.Abort { a_tid = fam.f_root }) : int);
     send st ~dst:(Tid.origin fam.f_root)
@@ -149,20 +157,168 @@ let start_takeover_watchdog st fam ~takeover =
   end
 
 (* --------------------------------------------------------------- *)
+(* Paxos Commit acceptor (Gray & Lamport): one consensus instance per
+   participant, 2F+1 acceptors drawn from coordinator :: participants.
+   Participants cast their vote as a ballot-0 phase-2a; a recovery
+   coordinator runs phase 1 at a higher ballot and re-proposes every
+   instance. The acceptor state (highest ballot, accepted triples)
+   lives in the family descriptor under f_mutex. *)
+
+(* Deliver an acceptor's reply to the instance leader. When the leader
+   is this very site (the F = 0 degenerate case, or a local takeover),
+   the reply goes straight into the coordinator's waiter mailbox — a
+   local hand-off, not a datagram, which is what keeps the F = 0
+   message count identical to 2PC's. *)
+let reply_to_leader st ~leader ~tid msg =
+  if leader = me st then begin
+    match waiter st tid with
+    | Some mb -> Mailbox.send mb msg
+    | None -> ()
+  end
+  else send st ~dst:leader msg
+
+(* Phase 2a: accept (instance, ballot, vote) unless a higher ballot was
+   promised. The acceptance is forced when it carries real durability —
+   any ballot above 0, or any acceptor set beyond the coordinator
+   itself — and spooled only in the provably-degenerate F = 0 case
+   (sole self-acceptor), where the coordinator's own records already
+   cover it; that spool is what collapses Paxos Commit to 2PC's force
+   count. *)
+let paxos_do_accept st fam ~instance ~ballot ~vote ~leader =
+  let tid = fam.f_root in
+  let accepted =
+    Sync.Mutex.with_lock fam.f_mutex (fun () ->
+        if ballot < fam.f_pax_ballot then false
+        else begin
+          fam.f_pax_ballot <- ballot;
+          let same =
+            List.exists
+              (fun (i, b, v) -> i = instance && b = ballot && v = vote)
+              fam.f_pax_accepted
+          in
+          if not same then begin
+            fam.f_pax_accepted <-
+              (instance, ballot, vote)
+              :: List.filter (fun (i, _, _) -> i <> instance) fam.f_pax_accepted;
+            let record =
+              Record.Paxos_accepted
+                {
+                  pa_tid = tid;
+                  pa_instance = instance;
+                  pa_ballot = ballot;
+                  pa_vote = vote;
+                }
+            in
+            if ballot > 0 || fam.f_acceptors <> [ me st ] then begin
+              ignore (log_append_force st record : int);
+              Camelot_chaos.point ~site:(me st) p_accept_forced
+            end
+            else ignore (log_append st record : int)
+          end;
+          true
+        end)
+  in
+  if accepted then
+    reply_to_leader st ~leader ~tid
+      (Protocol.Paxos_accepted
+         { m_tid = tid; m_from = me st; m_instance = instance; m_ballot = ballot; m_vote = vote })
+  else Camelot_chaos.point ~site:(me st) p_ballot_conflict
+
+(* Phase 1a: promise [ballot] (forced — the promise must survive a
+   crash) and report every acceptance, unless a higher ballot already
+   owns this acceptor. Ballots encode their proposer, so an equal
+   ballot is the same proposer retrying: re-answer without re-forcing. *)
+let paxos_do_promise st fam ~ballot ~from =
+  let tid = fam.f_root in
+  let promised =
+    Sync.Mutex.with_lock fam.f_mutex (fun () ->
+        if ballot < fam.f_pax_ballot then None
+        else begin
+          if ballot > fam.f_pax_ballot then begin
+            fam.f_pax_ballot <- ballot;
+            ignore
+              (log_append_force st
+                 (Record.Paxos_promised { pp_tid = tid; pp_ballot = ballot })
+                : int)
+          end;
+          Some fam.f_pax_accepted
+        end)
+  in
+  match promised with
+  | Some accepted ->
+      reply_to_leader st ~leader:from ~tid
+        (Protocol.Paxos_promise
+           { m_tid = tid; m_from = me st; m_ballot = ballot; m_accepted = accepted })
+  | None -> Camelot_chaos.point ~site:(me st) p_ballot_conflict
+
+(* A participant casts its vote: one ballot-0 phase-2a per acceptor.
+   The self-acceptance (when this site is in the acceptor set) is a
+   direct local call, never a datagram. *)
+let paxos_cast_vote st fam ~vote =
+  let tid = fam.f_root in
+  let leader = Tid.origin tid in
+  List.iter
+    (fun a ->
+      if a = me st then
+        paxos_do_accept st fam ~instance:(me st) ~ballot:0 ~vote ~leader
+      else
+        send st ~dst:a
+          (Protocol.Paxos_accept
+             {
+               m_tid = tid;
+               m_from = me st;
+               m_instance = me st;
+               m_ballot = 0;
+               m_vote = vote;
+               m_leader = leader;
+             }))
+    fam.f_acceptors
+
+let handle_paxos_accept st msg =
+  match msg with
+  | Protocol.Paxos_accept { m_tid; m_instance; m_ballot; m_vote; m_leader; _ } ->
+      let fam = find_or_join_family st m_tid in
+      if fam.f_protocol <> Protocol.Paxos_commit then
+        fam.f_protocol <- Protocol.Paxos_commit;
+      paxos_do_accept st fam ~instance:m_instance ~ballot:m_ballot ~vote:m_vote
+        ~leader:m_leader
+  | _ -> invalid_arg "Subordinate.handle_paxos_accept"
+
+let handle_paxos_prepare st msg =
+  match msg with
+  | Protocol.Paxos_prepare { m_tid; m_from; m_ballot } ->
+      let fam = find_or_join_family st m_tid in
+      if fam.f_protocol <> Protocol.Paxos_commit then
+        fam.f_protocol <- Protocol.Paxos_commit;
+      paxos_do_promise st fam ~ballot:m_ballot ~from:m_from
+  | _ -> invalid_arg "Subordinate.handle_paxos_prepare"
+
+(* --------------------------------------------------------------- *)
 (* Message handlers (run on TranMan pool threads) *)
 
 (* Prepare: ask the local servers to vote; on yes, force a prepare
    record and answer — unless everything here was read-only, in which
    case the site votes yes-read-only, drops its locks and forgets
    (§4.2's read-only optimization). *)
-let handle_prepare st msg ~takeover =
+let handle_prepare st msg ~takeover ~paxos_takeover =
   match msg with
-  | Protocol.Prepare { m_tid; m_coordinator; m_protocol; m_sites; m_commit_quorum }
+  | Protocol.Prepare
+      { m_tid; m_coordinator; m_protocol; m_sites; m_commit_quorum; m_acceptors }
     -> (
       let fam = find_or_join_family st m_tid in
       fam.f_protocol <- m_protocol;
       fam.f_sites <- m_sites;
       fam.f_commit_quorum <- m_commit_quorum;
+      if m_acceptors <> [] then fam.f_acceptors <- m_acceptors;
+      (* a paxos revote travels as a fresh ballot-0 phase-2a to every
+         acceptor; other protocols revote with a plain Vote datagram *)
+      let revote vote =
+        match m_protocol with
+        | Protocol.Paxos_commit -> paxos_cast_vote st fam ~vote
+        | _ ->
+            send st ~dst:m_coordinator
+              (Protocol.Vote { m_tid; m_from = me st; m_vote = vote })
+      in
       match fam.f_outcome with
       | Some Protocol.Committed ->
           (* duplicate prepare after commit: coordinator must have our
@@ -176,22 +332,10 @@ let handle_prepare st msg ~takeover =
       | None ->
           if fam.f_read_only_done then
             (* duplicate prepare after a read-only vote: revote *)
-            send st ~dst:m_coordinator
-              (Protocol.Vote
-                 {
-                   m_tid;
-                   m_from = me st;
-                   m_vote = Protocol.Vote_yes { read_only = true };
-                 })
+            revote (Protocol.Vote_yes { read_only = true })
           else if fam.f_prepared then
             (* duplicate prepare while prepared: just revote yes *)
-            send st ~dst:m_coordinator
-              (Protocol.Vote
-                 {
-                   m_tid;
-                   m_from = me st;
-                   m_vote = Protocol.Vote_yes { read_only = false };
-                 })
+            revote (Protocol.Vote_yes { read_only = false })
           else if unresolved_children fam <> [] then begin
             apply_abort st fam;
             send st ~dst:m_coordinator
@@ -224,13 +368,7 @@ let handle_prepare st msg ~takeover =
                    a non-blocking quorum. *)
                 fam.f_read_only_done <- true;
                 drop_local_locks st fam;
-                send st ~dst:m_coordinator
-                  (Protocol.Vote
-                     {
-                       m_tid;
-                       m_from = me st;
-                       m_vote = Protocol.Vote_yes { read_only = true };
-                     })
+                revote (Protocol.Vote_yes { read_only = true })
             | Protocol.Vote_yes { read_only = _ } ->
                 let prepare_rec =
                   Record.Prepare
@@ -239,6 +377,7 @@ let handle_prepare st msg ~takeover =
                       p_coordinator = m_coordinator;
                       p_protocol = m_protocol;
                       p_sites = m_sites;
+                      p_acceptors = m_acceptors;
                     }
                 in
                 (* the bug knob spools where correctness demands a
@@ -248,17 +387,22 @@ let handle_prepare st msg ~takeover =
                 else ignore (log_append_force st prepare_rec : int);
                 Camelot_chaos.point ~site:(me st) p_prepare_forced;
                 fam.f_prepared <- true;
-                send st ~dst:m_coordinator
-                  (Protocol.Vote
-                     {
-                       m_tid;
-                       m_from = me st;
-                       m_vote = Protocol.Vote_yes { read_only = false };
-                     });
+                (* short-commit's defining move: the locks drop here,
+                   at prepare time, before the outcome is known — the
+                   undo stack stays, because an abort must still be
+                   possible *)
+                if m_protocol = Protocol.Short_commit then begin
+                  release_local_locks st fam;
+                  Camelot_chaos.point ~site:(me st) p_release_early
+                end;
+                revote (Protocol.Vote_yes { read_only = false });
                 Camelot_chaos.point ~site:(me st) p_vote_sent;
                 (match m_protocol with
-                | Protocol.Two_phase -> start_inquiry_watchdog st fam
-                | Protocol.Nonblocking -> start_takeover_watchdog st fam ~takeover)
+                | Protocol.Two_phase | Protocol.Short_commit ->
+                    start_inquiry_watchdog st fam
+                | Protocol.Nonblocking -> start_takeover_watchdog st fam ~takeover
+                | Protocol.Paxos_commit ->
+                    start_takeover_watchdog st fam ~takeover:paxos_takeover)
           end)
   | _ -> invalid_arg "Subordinate.handle_prepare"
 
@@ -290,7 +434,12 @@ let handle_replicate st msg =
                      retrying forever *)
                   send st ~dst:m_coordinator
                     (Protocol.Outcome
-                       { m_tid; m_from = me st; m_outcome = Protocol.Aborted })
+                       {
+                         m_tid;
+                         m_from = me st;
+                         m_outcome = Protocol.Aborted;
+                         m_protocol = fam.f_protocol;
+                       })
               | None, Q_abort -> ()
               | None, Q_none ->
                   (* prepared update subordinates join the commit quorum;
@@ -319,20 +468,26 @@ let handle_replicate st msg =
    coordinator keeps retransmitting until acked) and ignore aborts. *)
 let handle_outcome st msg =
   match msg with
-  | Protocol.Outcome { m_tid; m_from; m_outcome } -> (
+  | Protocol.Outcome { m_tid; m_from; m_outcome; m_protocol } -> (
       match find_family st m_tid with
       | None ->
           (* forgotten or never seen; ack whichever outcome carries the
-             acknowledgement duty under the current presumption, so the
-             coordinator can forget too *)
+             acknowledgement duty under the deciding protocol — the
+             message says which, since no descriptor survives here —
+             so the coordinator can forget too *)
           let needs_ack =
-            match (st.config.presumption, m_outcome) with
-            | Presume_abort, Protocol.Committed
-            | Presume_commit, Protocol.Aborted ->
-                true
-            | Presume_abort, Protocol.Aborted
-            | Presume_commit, Protocol.Committed ->
-                false
+            match m_protocol with
+            | Protocol.Short_commit ->
+                (* commits travel unacknowledged; aborts are acked *)
+                m_outcome = Protocol.Aborted
+            | _ -> (
+                match (st.config.presumption, m_outcome) with
+                | Presume_abort, Protocol.Committed
+                | Presume_commit, Protocol.Aborted ->
+                    true
+                | Presume_abort, Protocol.Aborted
+                | Presume_commit, Protocol.Committed ->
+                    false)
           in
           if needs_ack then
             send_piggybacked st ~dst:m_from
@@ -341,11 +496,17 @@ let handle_outcome st msg =
           match fam.f_outcome with
           | None -> apply_outcome st fam m_outcome ~ack_to:m_from
           | Some Protocol.Committed when m_outcome = Protocol.Committed ->
-              if st.config.presumption = Presume_abort then
+              if
+                st.config.presumption = Presume_abort
+                && fam.f_protocol <> Protocol.Short_commit
+              then
                 send_piggybacked st ~dst:m_from
                   (Protocol.Outcome_ack { m_tid; m_from = me st })
           | Some Protocol.Aborted when m_outcome = Protocol.Aborted ->
-              if st.config.presumption = Presume_commit then
+              if
+                st.config.presumption = Presume_commit
+                || fam.f_protocol = Protocol.Short_commit
+              then
                 send_piggybacked st ~dst:m_from
                   (Protocol.Outcome_ack { m_tid; m_from = me st })
           | Some prior ->
@@ -438,16 +599,24 @@ let handle_status st msg =
                 apply_outcome st fam Protocol.Committed ~ack_to:m_from
             | Protocol.St_aborted ->
                 apply_outcome st fam Protocol.Aborted ~ack_to:m_from
-            | Protocol.St_unknown ->
-                if
-                  fam.f_protocol = Protocol.Two_phase
-                  && m_from = Tid.origin m_tid
-                then
-                  apply_outcome st fam
-                    (match st.config.presumption with
-                    | Presume_abort -> Protocol.Aborted
-                    | Presume_commit -> Protocol.Committed)
-                    ~ack_to:m_from
+            | Protocol.St_unknown -> (
+                (* decisive only from the coordinator itself, and only
+                   under protocols where a forgotten coordinator
+                   implies an outcome: 2PC by its presumption,
+                   short-commit always by commit (its aborts are
+                   remembered until acknowledged). A non-blocking or
+                   paxos peer that knows nothing proves nothing — the
+                   takeover machinery resolves those. *)
+                match fam.f_protocol with
+                | Protocol.Two_phase when m_from = Tid.origin m_tid ->
+                    apply_outcome st fam
+                      (match st.config.presumption with
+                      | Presume_abort -> Protocol.Aborted
+                      | Presume_commit -> Protocol.Committed)
+                      ~ack_to:m_from
+                | Protocol.Short_commit when m_from = Tid.origin m_tid ->
+                    apply_outcome st fam Protocol.Committed ~ack_to:m_from
+                | _ -> ())
             | Protocol.St_active | Protocol.St_prepared | Protocol.St_replicated
             | Protocol.St_refused ->
                 ()

@@ -1,7 +1,7 @@
 (** Subordinate-side handling of commit-protocol messages, shared by
-    the two-phase and non-blocking protocols (internal; messages reach
-    these handlers through {!Tranman}'s dispatcher, on worker
-    threads). *)
+    all four commit protocols (internal; messages reach these handlers
+    through {!Tranman}'s dispatcher, on worker threads). Also home of
+    the Paxos Commit acceptor and short-commit's early lock release. *)
 
 (** Apply a commit at this site under the configured §4.2 write
     variant; the commit-ack goes to [ack_to] (the original or a
@@ -25,17 +25,49 @@ val start_inquiry_watchdog : State.t -> State.family -> unit
     client or coordinator died. *)
 val start_orphan_watchdog : State.t -> State.family -> unit
 
-(** Non-blocking: become a coordinator after the configured silence
-    ([takeover] is {!Nonblocking.takeover}, passed in by the dispatcher
-    to avoid a module cycle). *)
+(** Non-blocking and Paxos Commit: become a (recovery) coordinator
+    after the configured silence ([takeover] is
+    {!Nonblocking.takeover} or {!Paxos_commit.takeover}, passed in by
+    the dispatcher to avoid a module cycle). *)
 val start_takeover_watchdog :
   State.t -> State.family -> takeover:(State.t -> State.family -> unit) -> unit
+
+(** {1 Paxos Commit acceptor} *)
+
+(** Phase 2a: accept (instance, ballot, vote) unless a higher ballot
+    was promised, log the acceptance (forced except in the sole
+    self-acceptor F = 0 case), and report phase 2b to [leader] — by
+    local mailbox hand-off when [leader] is this site. *)
+val paxos_do_accept :
+  State.t ->
+  State.family ->
+  instance:Camelot_mach.Site.id ->
+  ballot:int ->
+  vote:Protocol.vote ->
+  leader:Camelot_mach.Site.id ->
+  unit
+
+(** Phase 1a: force a promise for [ballot] (unless outballoted) and
+    answer phase 1b with every acceptance to [from]. *)
+val paxos_do_promise :
+  State.t -> State.family -> ballot:int -> from:Camelot_mach.Site.id -> unit
+
+(** Cast this participant's vote as ballot-0 phase-2a messages to every
+    acceptor (the self-acceptance, if any, is a direct local call). *)
+val paxos_cast_vote : State.t -> State.family -> vote:Protocol.vote -> unit
 
 (** {1 Message handlers} — each takes the raw message and raises
     [Invalid_argument] on a constructor it does not own. *)
 
 val handle_prepare :
-  State.t -> Protocol.t -> takeover:(State.t -> State.family -> unit) -> unit
+  State.t ->
+  Protocol.t ->
+  takeover:(State.t -> State.family -> unit) ->
+  paxos_takeover:(State.t -> State.family -> unit) ->
+  unit
+
+val handle_paxos_accept : State.t -> Protocol.t -> unit
+val handle_paxos_prepare : State.t -> Protocol.t -> unit
 
 val handle_replicate : State.t -> Protocol.t -> unit
 val handle_outcome : State.t -> Protocol.t -> unit

@@ -22,13 +22,27 @@ let dispatch st msg =
         charge_cpu st;
         handler st msg)
   in
+  (* The Paxos acceptor is its own role — Gray & Lamport run it as a
+     separate process — so its phase 1/2 work gets a dedicated fiber
+     rather than a worker-pool slot. Coordinators occupy pool threads
+     for the whole commit, and at F = 0 the coordinator site is also
+     the sole acceptor: routed through the pool, the phase-2a votes a
+     commit is waiting on would queue behind the very commits waiting
+     for them whenever commit concurrency reaches the pool size. *)
+  let to_acceptor handler =
+    Site.spawn st.site ~name:"paxos-acceptor" (fun () ->
+        charge_cpu st;
+        handler st msg)
+  in
   let to_waiter () =
     match waiter st tid with
     | Some mb -> Mailbox.send mb msg
     | None -> ()
   in
   match msg with
-  | Protocol.Vote _ | Protocol.Replicate_ack _ | Protocol.Refused _ -> to_waiter ()
+  | Protocol.Vote _ | Protocol.Replicate_ack _ | Protocol.Refused _
+  | Protocol.Paxos_accepted _ | Protocol.Paxos_promise _ ->
+      to_waiter ()
   | Protocol.Status _ -> (
       match waiter st tid with
       | Some mb -> Mailbox.send mb msg
@@ -39,7 +53,10 @@ let dispatch st msg =
       | Some fam -> Two_phase.note_outcome_ack st fam ~from:m_from)
   | Protocol.Prepare _ ->
       to_pool (fun st msg ->
-          Subordinate.handle_prepare st msg ~takeover:Nonblocking.takeover)
+          Subordinate.handle_prepare st msg ~takeover:Nonblocking.takeover
+            ~paxos_takeover:Paxos_commit.takeover)
+  | Protocol.Paxos_accept _ -> to_acceptor Subordinate.handle_paxos_accept
+  | Protocol.Paxos_prepare _ -> to_acceptor Subordinate.handle_paxos_prepare
   | Protocol.Replicate _ -> to_pool Subordinate.handle_replicate
   | Protocol.Outcome _ -> to_pool Subordinate.handle_outcome
   | Protocol.Inquiry _ -> to_pool Subordinate.handle_inquiry
@@ -205,7 +222,9 @@ let commit st ?(protocol = Protocol.Two_phase) tid =
             fam.f_protocol <- protocol;
             (match protocol with
             | Protocol.Two_phase -> Two_phase.coordinate st fam
-            | Protocol.Nonblocking -> Nonblocking.coordinate st fam))
+            | Protocol.Nonblocking -> Nonblocking.coordinate st fam
+            | Protocol.Paxos_commit -> Paxos_commit.coordinate st fam
+            | Protocol.Short_commit -> Short_commit.coordinate st fam))
   else
     on_pool st (fun () ->
         let fam = require_family st tid in
@@ -329,14 +348,28 @@ let image_apply (im : Record.family_image) = function
   | Record.Update { u_server; _ } ->
       if List.mem u_server im.Record.fi_servers then im
       else { im with Record.fi_servers = u_server :: im.Record.fi_servers }
-  | Record.Collecting { g_sites; _ } ->
-      { im with Record.fi_prepared = true; fi_sites = g_sites }
-  | Record.Prepare { p_protocol; p_sites; _ } ->
+  | Record.Collecting { g_sites; g_protocol; _ } ->
+      { im with Record.fi_prepared = true; fi_sites = g_sites; fi_protocol = g_protocol }
+  | Record.Prepare { p_protocol; p_sites; p_acceptors; _ } ->
       {
         im with
         Record.fi_prepared = true;
         fi_protocol = p_protocol;
         fi_sites = (if p_sites <> [] then p_sites else im.Record.fi_sites);
+        fi_acceptors =
+          (if p_acceptors <> [] then p_acceptors else im.Record.fi_acceptors);
+      }
+  | Record.Paxos_promised { pp_ballot; _ } ->
+      { im with Record.fi_pax_ballot = max pp_ballot im.Record.fi_pax_ballot }
+  | Record.Paxos_accepted { pa_instance; pa_ballot; pa_vote; _ } ->
+      {
+        im with
+        Record.fi_pax_ballot = max pa_ballot im.Record.fi_pax_ballot;
+        fi_pax_accepted =
+          (pa_instance, pa_ballot, pa_vote)
+          :: List.filter
+               (fun (i, _, _) -> i <> pa_instance)
+               im.Record.fi_pax_accepted;
       }
   | Record.Replication { r_sites; r_update_sites; _ } ->
       {
@@ -362,6 +395,9 @@ let blank_image root =
     fi_outcome = None;
     fi_servers = [];
     fi_ended = false;
+    fi_acceptors = [];
+    fi_pax_ballot = 0;
+    fi_pax_accepted = [];
   }
 
 let family_images st =
@@ -422,15 +458,27 @@ let recover st =
            crash *)
         if not (List.mem u_server fam.f_servers) then
           fam.f_servers <- u_server :: fam.f_servers
-    | Record.Collecting { g_sites; _ } ->
-        (* presumed commit: voting had begun; without a later outcome
-           record this transaction must be aborted and remembered *)
+    | Record.Collecting { g_sites; g_protocol; _ } ->
+        (* presumed commit (or short-commit): voting had begun; without
+           a later outcome record this transaction must be aborted and
+           remembered *)
         fam.f_prepared <- true;
-        fam.f_sites <- g_sites
-    | Record.Prepare { p_protocol; p_sites; _ } ->
+        fam.f_sites <- g_sites;
+        fam.f_protocol <- g_protocol
+    | Record.Prepare { p_protocol; p_sites; p_acceptors; _ } ->
         fam.f_prepared <- true;
         fam.f_protocol <- p_protocol;
-        if p_sites <> [] then fam.f_sites <- p_sites
+        if p_sites <> [] then fam.f_sites <- p_sites;
+        if p_acceptors <> [] then fam.f_acceptors <- p_acceptors
+    | Record.Paxos_promised { pp_ballot; _ } ->
+        fam.f_pax_ballot <- max pp_ballot fam.f_pax_ballot;
+        fam.f_protocol <- Protocol.Paxos_commit
+    | Record.Paxos_accepted { pa_instance; pa_ballot; pa_vote; _ } ->
+        fam.f_pax_ballot <- max pa_ballot fam.f_pax_ballot;
+        fam.f_pax_accepted <-
+          (pa_instance, pa_ballot, pa_vote)
+          :: List.filter (fun (i, _, _) -> i <> pa_instance) fam.f_pax_accepted;
+        fam.f_protocol <- Protocol.Paxos_commit
     | Record.Replication { r_sites; r_update_sites; _ } ->
         fam.f_quorum_side <- Q_commit;
         fam.f_sites <- r_sites;
@@ -478,6 +526,12 @@ let recover st =
           (match im.Record.fi_outcome with
           | Some o -> fam.f_outcome <- Some o
           | None -> ());
+          if im.Record.fi_acceptors <> [] then
+            fam.f_acceptors <- im.Record.fi_acceptors;
+          if im.Record.fi_pax_ballot > fam.f_pax_ballot then
+            fam.f_pax_ballot <- im.Record.fi_pax_ballot;
+          if im.Record.fi_pax_accepted <> [] then
+            fam.f_pax_accepted <- im.Record.fi_pax_accepted;
           List.iter
             (fun s ->
               if not (List.mem s fam.f_servers) then
@@ -521,25 +575,29 @@ let recover st =
           let subs = List.filter (fun s -> s <> me st) fam.f_update_sites in
           if subs <> [] then Two_phase.start_notify st fam ~update_subs:subs
       | Some Protocol.Aborted
-        when st.config.presumption = Presume_commit
+        when (st.config.presumption = Presume_commit
+             || fam.f_protocol = Protocol.Short_commit)
              && fam.f_role = Coordinator
              && not (Hashtbl.mem ends key) ->
-          (* presumed commit: aborts are the acknowledged outcome *)
+          (* presumed commit (and short-commit, which presumes commit
+             whatever the configuration): aborts are the acknowledged
+             outcome *)
           let subs = List.filter (fun s -> s <> me st) fam.f_sites in
           if subs <> [] then
             Two_phase.start_notify ~outcome:Protocol.Aborted st fam ~update_subs:subs
       | Some _ -> ()
       | None ->
           if
-            st.config.presumption = Presume_commit
-            && fam.f_role = Coordinator
-            && fam.f_protocol = Protocol.Two_phase
-            && fam.f_prepared
+            fam.f_role = Coordinator && fam.f_prepared
+            && ((st.config.presumption = Presume_commit
+                && fam.f_protocol = Protocol.Two_phase)
+               || fam.f_protocol = Protocol.Short_commit)
           then begin
             (* a collecting record without an outcome: the decision was
                never made, so the transaction aborts — and must be
                remembered and acknowledged, or it would be presumed
-               committed later *)
+               committed later (short-commit presumes commit whatever
+               the configured presumption) *)
             resolve_family st fam Protocol.Aborted;
             ignore
               (Camelot_wal.Log.append st.log (Record.Abort { a_tid = fam.f_root })
@@ -574,6 +632,10 @@ let recover st =
           | Protocol.Nonblocking ->
               Subordinate.start_takeover_watchdog st fam
                 ~takeover:Nonblocking.takeover
-          | Protocol.Two_phase -> Subordinate.start_inquiry_watchdog st fam))
+          | Protocol.Paxos_commit ->
+              Subordinate.start_takeover_watchdog st fam
+                ~takeover:Paxos_commit.takeover
+          | Protocol.Two_phase | Protocol.Short_commit ->
+              Subordinate.start_inquiry_watchdog st fam))
     !in_doubt;
   !in_doubt

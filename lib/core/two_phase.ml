@@ -18,6 +18,10 @@ let p_commit_forced = Camelot_chaos.register "coord.commit.forced"
 let p_abort_logged = Camelot_chaos.register "coord.abort.logged"
 let p_acks_in = Camelot_chaos.register "coord.acks.in"
 
+(* The window satellite schedules care about most: every vote is in but
+   the outcome is not yet durable. Shared by all four protocols. *)
+let p_votes_collected = Camelot_chaos.register "coord.votes.collected"
+
 (* Local commitment: no subordinates. One forced log write commits the
    transaction (Figure 1 step 9); a fully read-only transaction writes
    nothing at all. *)
@@ -47,7 +51,13 @@ let start_notify ?(outcome = Protocol.Committed) st fam ~update_subs =
   let tid = fam.f_root in
   fam.f_acks_pending <- update_subs;
   let outcome_msg =
-    Protocol.Outcome { m_tid = tid; m_from = me st; m_outcome = outcome }
+    Protocol.Outcome
+      {
+        m_tid = tid;
+        m_from = me st;
+        m_outcome = outcome;
+        m_protocol = fam.f_protocol;
+      }
   in
   fan_out st ~dsts:update_subs outcome_msg;
   Site.spawn st.site ~name:"2pc-notify" (fun () ->
@@ -77,12 +87,25 @@ let start_notify ?(outcome = Protocol.Committed) st fam ~update_subs =
    (otherwise a later inquiry would presume commit). *)
 let abort_distributed st fam ~subs =
   let tid = fam.f_root in
-  (match st.config.presumption with
+  (* short-commit always follows the presumed-commit abort discipline:
+     its coordinator forced a collecting record, and a forgotten
+     coordinator implies commit *)
+  let discipline =
+    if fam.f_protocol = Protocol.Short_commit then Presume_commit
+    else st.config.presumption
+  in
+  (match discipline with
   | Presume_abort ->
       ignore (log_append st (Record.Abort { a_tid = tid }) : int);
       resolve_family st fam Protocol.Aborted;
       fan_out st ~dsts:subs
-        (Protocol.Outcome { m_tid = tid; m_from = me st; m_outcome = Protocol.Aborted })
+        (Protocol.Outcome
+           {
+             m_tid = tid;
+             m_from = me st;
+             m_outcome = Protocol.Aborted;
+             m_protocol = fam.f_protocol;
+           })
   | Presume_commit ->
       ignore (log_append_force st (Record.Abort { a_tid = tid }) : int);
       resolve_family st fam Protocol.Aborted;
@@ -146,6 +169,8 @@ let collect_votes st fam mb ~subs ~prepare_msg =
           match m_vote with
           | Protocol.Vote_yes { read_only } ->
               note_yes ~from:m_from ~read_only;
+              Camelot_chaos.note ~site:(me st)
+                (Printf.sprintf "v%d" votes.n_pending);
               wait_round retries
           | Protocol.Vote_no ->
               votes.refused <- true)
@@ -166,6 +191,51 @@ let collect_votes st fam mb ~subs ~prepare_msg =
   in
   wait_round 0;
   votes
+
+(* The decided-commit epilogue, shared with Paxos Commit (whose F = 0
+   case must match it force-for-force and message-for-message): force
+   the commit record — the commit point — then run the
+   presumption-matched notification discipline and release local locks
+   off the completion path. *)
+let commit_decided st fam ~update_subs =
+  let tid = fam.f_root in
+  ignore
+    (log_append_force st (Record.Commit { c_tid = tid; c_sites = update_subs })
+      : int);
+  Camelot_chaos.point ~site:(me st) p_commit_forced;
+  resolve_family st fam Protocol.Committed;
+  (* short-commit rides the presumed-commit branch whatever the
+     configured presumption: its commit notices are unacknowledged by
+     construction *)
+  let discipline =
+    if fam.f_protocol = Protocol.Short_commit then Presume_commit
+    else st.config.presumption
+  in
+  (match discipline with
+  | Presume_abort ->
+      if update_subs = [] then begin
+        unregister_waiter st tid;
+        ignore (log_append st (Record.End { e_tid = tid }) : int);
+        fam.f_ended <- true
+      end
+      else start_notify st fam ~update_subs
+  | Presume_commit ->
+      (* no commit-acks at all: a subordinate that misses the notice
+         will inquire and presume commit from the forgotten
+         coordinator *)
+      unregister_waiter st tid;
+      fan_out st ~dsts:update_subs
+        (Protocol.Outcome
+           {
+             m_tid = tid;
+             m_from = me st;
+             m_outcome = Protocol.Committed;
+             m_protocol = fam.f_protocol;
+           });
+      ignore (log_append st (Record.End { e_tid = tid }) : int);
+      fam.f_ended <- true);
+  Site.spawn st.site ~name:"drop-locks" (fun () -> drop_local_locks st fam);
+  Protocol.Committed
 
 (* Entry point: commit the family rooted at [tid]. Runs on a TranMan
    pool thread; blocks until the outcome is decided (the completion
@@ -189,7 +259,9 @@ let coordinate st fam =
            transaction cannot be presumed committed *)
         if st.config.presumption = Presume_commit then
           ignore
-            (log_append_force st (Record.Collecting { g_tid = tid; g_sites = subs })
+            (log_append_force st
+               (Record.Collecting
+                  { g_tid = tid; g_sites = subs; g_protocol = Protocol.Two_phase })
               : int);
         let prepare_msg =
           Protocol.Prepare
@@ -199,6 +271,7 @@ let coordinate st fam =
               m_protocol = Protocol.Two_phase;
               m_sites = subs;
               m_commit_quorum = 0;
+              m_acceptors = [];
             }
         in
         fan_out st ~dsts:subs prepare_msg;
@@ -209,6 +282,7 @@ let coordinate st fam =
           abort_distributed st fam ~subs
         end
         else begin
+          Camelot_chaos.point ~site:(me st) p_votes_collected;
           let update_subs =
             List.filter (fun s -> not (List.mem s votes.read_only_subs)) subs
           in
@@ -220,36 +294,6 @@ let coordinate st fam =
             drop_local_locks st fam;
             Protocol.Committed
           end
-          else begin
-            ignore
-              (log_append_force st
-                 (Record.Commit { c_tid = tid; c_sites = update_subs })
-                : int);
-            Camelot_chaos.point ~site:(me st) p_commit_forced;
-            resolve_family st fam Protocol.Committed;
-            (* notification, ack collection and local lock release all
-               happen after the commit call returns *)
-            (match st.config.presumption with
-            | Presume_abort ->
-                if update_subs = [] then begin
-                  unregister_waiter st tid;
-                  ignore (log_append st (Record.End { e_tid = tid }) : int);
-                  fam.f_ended <- true
-                end
-                else start_notify st fam ~update_subs
-            | Presume_commit ->
-                (* no commit-acks at all: a subordinate that misses the
-                   notice will inquire and presume commit from the
-                   forgotten coordinator *)
-                unregister_waiter st tid;
-                fan_out st ~dsts:update_subs
-                  (Protocol.Outcome
-                     { m_tid = tid; m_from = me st; m_outcome = Protocol.Committed });
-                ignore (log_append st (Record.End { e_tid = tid }) : int);
-                fam.f_ended <- true);
-            Site.spawn st.site ~name:"drop-locks" (fun () ->
-                drop_local_locks st fam);
-            Protocol.Committed
-          end
+          else commit_decided st fam ~update_subs
         end
       end

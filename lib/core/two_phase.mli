@@ -3,6 +3,10 @@
     {!Tranman.commit}). The subordinate's behaviour under the three
     write variants lives in {!Subordinate}. *)
 
+(** The shared "every vote is in, outcome not yet durable" fault point,
+    hit by all four protocols' coordinators. *)
+val p_votes_collected : string
+
 (** Commit a local (no-subordinate) family: one forced commit record,
     or nothing at all when read-only and the optimization is on. *)
 val commit_local : State.t -> State.family -> read_only:bool -> Protocol.outcome
@@ -50,6 +54,17 @@ val collect_votes :
   subs:Camelot_mach.Site.id list ->
   prepare_msg:Protocol.t ->
   votes
+
+(** The decided-commit epilogue: force the commit record (the commit
+    point), then notify/End per the configured presumption and release
+    local locks off the completion path. Shared with Paxos Commit so
+    the F = 0 degenerate case matches 2PC force-for-force and
+    message-for-message. *)
+val commit_decided :
+  State.t ->
+  State.family ->
+  update_subs:Camelot_mach.Site.id list ->
+  Protocol.outcome
 
 (** Run the whole protocol for a top-level family; blocks (on a worker
     thread) until the outcome is decided. *)

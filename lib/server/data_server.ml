@@ -8,13 +8,24 @@ exception Lock_timeout of { server : string; key : string }
 (* One undo entry per update, newest first. [e_tid] is retagged to the
    parent when a subtransaction commits (anti-inheritance of the
    ability to undo, mirroring the lock transfer). *)
-type undo_entry = { mutable e_tid : Tid.t; e_key : string; e_old : int }
+(* [e_new] is what this entry wrote: an undo only restores [e_old] when
+   the key still holds [e_new]. Under strict two-phase locking the two
+   are always equal at abort time; once short-commit releases locks
+   early, a later committed writer may have overtaken the key, and the
+   restore must not clobber it. *)
+type undo_entry = {
+  mutable e_tid : Tid.t;
+  e_key : string;
+  e_old : int;
+  e_new : int;
+}
 
 type family_state = {
   mutable fs_undo : undo_entry list;
   mutable fs_joined : Tid.t list;  (* tids that joined at this server *)
   mutable fs_updated : bool;
   mutable fs_veto : Tid.t list;  (* test hook *)
+  mutable fs_released : bool;  (* short-commit: locks dropped early *)
 }
 
 type t = {
@@ -39,7 +50,15 @@ let family_state t tid =
   match Hashtbl.find_opt t.families key with
   | Some fs -> fs
   | None ->
-      let fs = { fs_undo = []; fs_joined = []; fs_updated = false; fs_veto = [] } in
+      let fs =
+        {
+          fs_undo = [];
+          fs_joined = [];
+          fs_updated = false;
+          fs_veto = [];
+          fs_released = false;
+        }
+      in
       Hashtbl.replace t.families key fs;
       fs
 
@@ -90,14 +109,19 @@ let do_abort t tid =
   in
   List.iter
     (fun e ->
-      (* a nested abort must survive a later family commit: spool a
-         compensating update, or crash recovery's redo pass would
-         resurrect the aborted subtree's writes from their original
-         update records (the volatile undo below is not enough) *)
-      if not (Tid.is_top tid) then
-        spool_update t e.e_tid ~key:e.e_key ~old_v:(get_value t e.e_key)
-          ~new_v:e.e_old;
-      Hashtbl.replace t.values e.e_key e.e_old)
+      (* restore only while the key still holds what we wrote: after a
+         short-commit early release a later committed writer may own
+         the key, and its value must survive our abort *)
+      if get_value t e.e_key = e.e_new then begin
+        (* a nested abort must survive a later family commit: spool a
+           compensating update, or crash recovery's redo pass would
+           resurrect the aborted subtree's writes from their original
+           update records (the volatile undo below is not enough) *)
+        if not (Tid.is_top tid) then
+          spool_update t e.e_tid ~key:e.e_key ~old_v:(get_value t e.e_key)
+            ~new_v:e.e_old;
+        Hashtbl.replace t.values e.e_key e.e_old
+      end)
     gone;
   fs.fs_undo <- keep;
   List.iter
@@ -119,6 +143,22 @@ let do_commit t tid =
       Camelot_lock.Lock_table.release_all t.locks ~owner)
     fs.fs_joined;
   Hashtbl.remove t.families (Tid.family_key tid)
+
+(* Short-commit early release (§3.2 variant): drop every member's locks
+   NOW, at prepare time, but keep the undo stack and the family entry —
+   the outcome is still undecided and an abort must still restore
+   whatever nobody else has overwritten since. *)
+let do_release t tid =
+  let fs = family_state t tid in
+  if not fs.fs_released then begin
+    let model = Site.model t.site in
+    List.iter
+      (fun owner ->
+        Site.cpu_use t.site model.Cost_model.drop_lock_ms;
+        Camelot_lock.Lock_table.release_all t.locks ~owner)
+      fs.fs_joined;
+    fs.fs_released <- true
+  end
 
 (* Nested commit: the subtree's locks and undo entries pass to the
    parent. *)
@@ -155,6 +195,7 @@ let callbacks t =
     sv_commit = do_commit t;
     sv_abort = do_abort t;
     sv_subcommit = do_subcommit t;
+    sv_release = do_release t;
   }
 
 let reattach t = Tranman.register_server t.tranman (callbacks t)
@@ -192,7 +233,7 @@ let acquire t tid ~key mode =
 
 let apply_write t fs tid ~key new_v =
   let old_v = get_value t key in
-  fs.fs_undo <- { e_tid = tid; e_key = key; e_old = old_v } :: fs.fs_undo;
+  fs.fs_undo <- { e_tid = tid; e_key = key; e_old = old_v; e_new = new_v } :: fs.fs_undo;
   fs.fs_updated <- true;
   Hashtbl.replace t.values key new_v;
   spool_update t tid ~key ~old_v ~new_v;
@@ -233,8 +274,12 @@ let reset t =
 let redo t (u : Record.update) =
   if u.u_server = t.name then Hashtbl.replace t.values u.u_key u.u_new
 
+(* Conditional, like [do_abort]'s restore: after a short-commit early
+   release a loser's key may hold a later committed writer's value,
+   which redo already reinstated and this undo must not clobber. *)
 let undo t (u : Record.update) =
-  if u.u_server = t.name then Hashtbl.replace t.values u.u_key u.u_old
+  if u.u_server = t.name && get_value t u.u_key = u.u_new then
+    Hashtbl.replace t.values u.u_key u.u_old
 
 (* --- checkpointing ------------------------------------------------- *)
 
@@ -247,7 +292,9 @@ let snapshot t =
   Hashtbl.iter
     (fun _ fs ->
       List.iter
-        (fun (e : undo_entry) -> Hashtbl.replace committed e.e_key e.e_old)
+        (fun (e : undo_entry) ->
+          if Option.value ~default:0 (Hashtbl.find_opt committed e.e_key) = e.e_new
+          then Hashtbl.replace committed e.e_key e.e_old)
         fs.fs_undo)
     t.families;
   Hashtbl.fold (fun key v acc -> (t.name, key, v) :: acc) committed []
@@ -295,7 +342,9 @@ let recover_in_doubt t (u : Record.update) =
   if u.u_server = t.name then begin
     Hashtbl.replace t.values u.u_key u.u_new;
     let fs = family_state t u.u_tid in
-    fs.fs_undo <- { e_tid = u.u_tid; e_key = u.u_key; e_old = u.u_old } :: fs.fs_undo;
+    fs.fs_undo <-
+      { e_tid = u.u_tid; e_key = u.u_key; e_old = u.u_old; e_new = u.u_new }
+      :: fs.fs_undo;
     fs.fs_updated <- true;
     if not (List.exists (Tid.equal u.u_tid) fs.fs_joined) then
       fs.fs_joined <- u.u_tid :: fs.fs_joined;

@@ -85,6 +85,96 @@ let test_injected_bug_caught_and_shrunk () =
         (List.length rr.Explorer.rr_violations))
     r.Explorer.rp_failures
 
+(* --- committed replay tokens: paxos takeover and quorum split ----- *)
+
+(* Two schedules found by the explorer and committed here as replayable
+   tokens. The first kills the Paxos coordinator the moment its
+   prepares are on the wire: the transaction's fate escalates through
+   the recovery coordinators (competing ballots included) and must
+   still resolve consistently. The second isolates one of the three
+   acceptors at its first forced acceptance: the F = 1 quorum of the
+   remaining two must carry the decision, and the healed acceptor must
+   converge to it. *)
+let replay_token ~token ~expect_points () =
+  match Schedule.of_string token with
+  | None -> Alcotest.failf "token did not parse: %s" token
+  | Some s ->
+      let r = Explorer.run_schedule s in
+      List.iter
+        (fun v ->
+          Printf.eprintf "%s: [%s] %s\n" token v.Oracle.v_oracle v.Oracle.v_detail)
+        r.Explorer.rr_violations;
+      Alcotest.(check int) (token ^ " clean") 0
+        (List.length r.Explorer.rr_violations);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reaches %s" token p)
+            true
+            (List.exists (fun ((q, _), _) -> q = p) r.Explorer.rr_hits))
+        expect_points;
+      (* the token replays to the same coverage signature every time *)
+      let r2 = Explorer.run_schedule s in
+      Alcotest.(check string)
+        (token ^ " deterministic")
+        r.Explorer.rr_signature r2.Explorer.rr_signature
+
+let test_paxos_takeover_after_coordinator_crash =
+  replay_token ~token:"trio-paxos:crash@coord.prepare.sent/0#1"
+    ~expect_points:[ "paxos.takeover.start"; "paxos.ballot.conflict" ]
+
+let test_paxos_acceptor_quorum_split =
+  replay_token ~token:"trio-paxos:isolate@paxos.accept.forced/2#1"
+    ~expect_points:[ "paxos.accept.forced" ]
+
+let test_short_commit_early_release_crash =
+  (* kill the short-commit coordinator after the early lock release:
+     the always-forced Collecting record plus the presumed-commit abort
+     discipline must undo the released writes everywhere *)
+  replay_token ~token:"pair-short:crash@short.release.early/0#1"
+    ~expect_points:[ "short.release.early" ]
+
+(* Shrinking converges on the new protocols too: plant the
+   prepare-force bug, find a failing single-injection schedule on the
+   short-commit pair, mutate it, and check the shrink lands back on a
+   minimal (single-injection) failing token. *)
+let test_shrink_converges_on_new_protocols () =
+  let mutate_config c =
+    c.Camelot_core.State.unsafe_skip_prepare_force <- true
+  in
+  let run = Explorer.run_schedule ~mutate_config in
+  List.iter
+    (fun wname ->
+      let r0 = run { Schedule.s_workload = wname; s_injections = [] } in
+      let pool = Array.of_list (Explorer.singles_for r0.Explorer.rr_hits) in
+      let failing =
+        Array.to_list pool
+        |> List.filter_map (fun inj ->
+               let s = { Schedule.s_workload = wname; s_injections = [ inj ] } in
+               if (run s).Explorer.rr_violations <> [] then Some s else None)
+      in
+      Alcotest.(check bool)
+        (wname ^ ": planted bug reachable by a single injection")
+        true (failing <> []);
+      let s = List.hd failing in
+      (* widen it, then shrink: must converge back to one injection *)
+      let widened =
+        { s with Schedule.s_injections = s.Schedule.s_injections @ [ pool.(0) ] }
+      in
+      let target =
+        if (run widened).Explorer.rr_violations <> [] then widened else s
+      in
+      let shrunk = Explorer.shrink ~run target in
+      Alcotest.(check int)
+        (wname ^ ": shrunk to one injection: " ^ Schedule.to_string shrunk)
+        1
+        (List.length shrunk.Schedule.s_injections);
+      Alcotest.(check bool)
+        (wname ^ ": shrunk token still fails")
+        true
+        ((run shrunk).Explorer.rr_violations <> []))
+    [ "pair-short" ]
+
 (* --- multi-shot workloads ----------------------------------------- *)
 
 (* Fault-free, every shot of every chain must commit — including the
@@ -273,7 +363,22 @@ let test_fuzz_deterministic_and_beats_explore () =
     (Printf.sprintf "fuzz tuples (%d) > explore tuples (%d)"
        r1.Explorer.rp_tuples re.Explorer.rp_tuples)
     true
-    (r1.Explorer.rp_tuples > re.Explorer.rp_tuples)
+    (r1.Explorer.rp_tuples > re.Explorer.rp_tuples);
+  (* full fault-point coverage, the protocol-sibling points included *)
+  Alcotest.(check (list string))
+    "no registered point left unhit" [] r1.Explorer.rp_missing;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p ^ " covered") true
+        (List.mem_assoc p r1.Explorer.rp_coverage))
+    [
+      "paxos.accept.forced";
+      "paxos.ballot.conflict";
+      "paxos.takeover.start";
+      "short.release.early";
+      "coord.votes.collected";
+    ]
 
 (* The fuzzer finds, shrinks and reports the planted bug; the shrunk
    token replays to a failure with the bug and to a clean run without
@@ -315,6 +420,17 @@ let () =
             test_exploration_clean_and_deterministic;
           Alcotest.test_case "planted durability bug caught and shrunk" `Quick
             test_injected_bug_caught_and_shrunk;
+        ] );
+      ( "protocol_tokens",
+        [
+          Alcotest.test_case "paxos takeover after coordinator crash" `Quick
+            test_paxos_takeover_after_coordinator_crash;
+          Alcotest.test_case "paxos acceptor quorum split" `Quick
+            test_paxos_acceptor_quorum_split;
+          Alcotest.test_case "short-commit crash after early release" `Quick
+            test_short_commit_early_release_crash;
+          Alcotest.test_case "shrinking converges on new protocols" `Quick
+            test_shrink_converges_on_new_protocols;
         ] );
       ( "multishot",
         [

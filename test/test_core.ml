@@ -89,6 +89,7 @@ let test_record_tid () =
         p_coordinator = 0;
         p_protocol = Protocol.Nonblocking;
         p_sites = [ 0; 1 ];
+        p_acceptors = [];
       }
   in
   Alcotest.(check tid_testable) "prepare tid" root0 (Record.tid p)
@@ -103,9 +104,16 @@ let test_protocol_tid_and_pp () =
           m_protocol = Protocol.Two_phase;
           m_sites = [ 1 ];
           m_commit_quorum = 0;
+          m_acceptors = [];
         };
       Protocol.Vote { m_tid = root0; m_from = 1; m_vote = Protocol.Vote_yes { read_only = false } };
-      Protocol.Outcome { m_tid = root0; m_from = 0; m_outcome = Protocol.Committed };
+      Protocol.Outcome
+        {
+          m_tid = root0;
+          m_from = 0;
+          m_outcome = Protocol.Committed;
+          m_protocol = Protocol.Two_phase;
+        };
       Protocol.Inquiry { m_tid = root0; m_from = 2 };
       Protocol.Status { m_tid = root0; m_from = 2; m_status = Protocol.St_prepared };
       Protocol.Child_finish { m_tid = root0; m_outcome = Protocol.Aborted };

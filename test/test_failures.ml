@@ -244,6 +244,80 @@ let test_nb_sub_crash_tolerated () =
       wait_until ~what:"crashed sub adopts commit" (fun () -> peek c 2 "c" = 3))
 
 (* ------------------------------------------------------------------ *)
+(* The decision-point crash, uniformly across all four protocols: the
+   coordinator dies between collecting the last vote and logging the
+   outcome (the [coord.votes.collected] fault point). What happens next
+   is exactly what distinguishes the protocols:
+
+   - 2PC: nothing durable backs the decision; the prepared subordinates
+     resolve to presumed abort by inquiry after the restart;
+   - non-blocking: no replication record exists anywhere, so the
+     subordinate takeover assembles an abort quorum;
+   - Paxos Commit at F = 1: every vote is a durably forced ballot-0
+     acceptance at 2F+1 acceptors — the recovery coordinator reads the
+     full vote set back from a promise quorum and COMMITS;
+   - Paxos Commit at F = 0: the sole acceptor rode the crashed
+     coordinator and its spooled acceptances are gone — abort;
+   - short-commit: locks were already released at prepare time; the
+     forced Collecting record with no outcome resolves to abort and the
+     conditional undo restores the early-released values. *)
+
+let crash_at_votes_collected ~protocol ?(paxos_f = 0) ~expect () =
+  let cfg = fast_config () in
+  cfg.State.paxos_f <- paxos_f;
+  let c = quiet_cluster ~config:cfg ~sites:3 () in
+  let _result, _ =
+    spawn_txn c ~origin:0 ~protocol
+      ~ops:[ (1, Data_server.Write ("vb", 2)); (2, Data_server.Write ("vc", 3)) ]
+      ()
+  in
+  orchestrate c (fun () ->
+      let fired = ref false in
+      Camelot_chaos.attach
+        ~on_hit:(fun ~point ~site ->
+          if point = Two_phase.p_votes_collected && site = 0 && not !fired
+          then begin
+            fired := true;
+            Camelot_chaos.Kill
+          end
+          else Camelot_chaos.Pass)
+        ~crash:(fun ~site -> Camelot.Cluster.crash_site c site);
+      Fun.protect ~finally:Camelot_chaos.detach (fun () ->
+          wait_until ~what:"coordinator crashed at votes-collected" (fun () ->
+              !fired);
+          Fiber.sleep 300.0;
+          ignore (Camelot.Cluster.restart_site c 0 : Tid.t list));
+      match expect with
+      | `Commit ->
+          wait_until ~what:"subs commit" (fun () ->
+              peek c 1 "vb" = 2 && peek c 2 "vc" = 3);
+          wait_until ~what:"recovered coordinator adopts the commit" (fun () ->
+              has_record c 0 is_commit)
+      | `Abort ->
+          wait_until ~what:"all sites undone" (fun () ->
+              peek c 1 "vb" = 0 && peek c 2 "vc" = 0);
+          Alcotest.(check bool) "no commit record anywhere" false
+            (has_record c 0 is_commit || has_record c 1 is_commit
+           || has_record c 2 is_commit))
+
+let test_votes_collected_crash_2pc =
+  crash_at_votes_collected ~protocol:Protocol.Two_phase ~expect:`Abort
+
+let test_votes_collected_crash_nb =
+  crash_at_votes_collected ~protocol:Protocol.Nonblocking ~expect:`Abort
+
+let test_votes_collected_crash_paxos_f1 =
+  crash_at_votes_collected ~protocol:Protocol.Paxos_commit ~paxos_f:1
+    ~expect:`Commit
+
+let test_votes_collected_crash_paxos_f0 =
+  crash_at_votes_collected ~protocol:Protocol.Paxos_commit ~paxos_f:0
+    ~expect:`Abort
+
+let test_votes_collected_crash_short =
+  crash_at_votes_collected ~protocol:Protocol.Short_commit ~expect:`Abort
+
+(* ------------------------------------------------------------------ *)
 (* Recovery of local state *)
 
 let test_recovery_redo_winners_undo_losers () =
@@ -577,6 +651,19 @@ let () =
           Alcotest.test_case "double failure blocks until repair" `Quick
             test_nb_double_failure_blocks_until_repair;
           Alcotest.test_case "subordinate crash tolerated" `Quick test_nb_sub_crash_tolerated;
+        ] );
+      ( "votes_collected_crash",
+        [
+          Alcotest.test_case "2PC: presumed abort" `Quick
+            test_votes_collected_crash_2pc;
+          Alcotest.test_case "non-blocking: abort via takeover" `Quick
+            test_votes_collected_crash_nb;
+          Alcotest.test_case "paxos F=1: commit via recovery coordinator" `Quick
+            test_votes_collected_crash_paxos_f1;
+          Alcotest.test_case "paxos F=0: spooled acceptances lost, abort" `Quick
+            test_votes_collected_crash_paxos_f0;
+          Alcotest.test_case "short-commit: conditional undo after release"
+            `Quick test_votes_collected_crash_short;
         ] );
       ( "recovery",
         [
