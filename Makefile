@@ -20,32 +20,36 @@ chaos-smoke:
 
 # Deep coverage-guided fuzzing pass (~2 min): 100k schedules mutated
 # from a persistent corpus under CHAOS_CORPUS (reused across runs, so
-# later sessions start from everything earlier ones found). Not part
-# of `make check` — run it before protocol-touching changes land.
+# later sessions start from everything earlier ones found). JOBS > 1
+# splits the budget over that many parallel fuzzing domains sharing
+# the corpus. Not part of `make check` — run it before
+# protocol-touching changes land.
 CHAOS_CORPUS ?= _chaos_corpus
+JOBS ?= 1
 chaos-deep:
 	dune exec bin/camelot_sim.exe -- chaos --fuzz --budget 100000 --seed 42 \
-		--corpus $(CHAOS_CORPUS)
+		--corpus $(CHAOS_CORPUS) --jobs $(JOBS)
 
 bench:
 	dune exec bench/main.exe
 
 # Fast CI-friendly pass: one-shot timings for every microbenchmark plus
-# the Part-1 reproduction wall clock and the open-loop/shootout sweep
-# points, written as BENCH_6.json (BENCH_5.json is the committed
-# previous-PR baseline it is compared against).
+# the Part-1 reproduction wall clock and the open-loop/shootout/domain-
+# scaling sweep points, written as BENCH_7.json (BENCH_6.json is the
+# committed previous-PR baseline it is compared against).
 bench-smoke:
-	dune exec bench/main.exe -- --quick --json BENCH_6.json
+	dune exec bench/main.exe -- --quick --json BENCH_7.json
 
 # Fail if any microbenchmark present in both baselines got more than
 # 25% slower, any closed-loop throughput point more than 8% lower,
 # than the previous baseline — or if a structural guard on the new
 # baseline fails: recovery partition-scaling curve not decreasing,
 # wheel timers not beating the heap at >=100k pending, the open-loop
-# p99-vs-load series losing its saturation knee, or Paxos-F=0 shootout
-# throughput drifting more than 5% from 2PC's.
+# p99-vs-load series losing its saturation knee, Paxos-F=0 shootout
+# throughput drifting more than 5% from 2PC's, or (on a >=4-core host)
+# the 64-site engine-scaling curve not reaching 1.5x at 4 domains.
 bench-compare:
-	dune exec bench/compare.exe -- BENCH_5.json BENCH_6.json
+	dune exec bench/compare.exe -- BENCH_6.json BENCH_7.json
 
 # Formatting gate. The container may not ship ocamlformat; skip (with a
 # note) rather than fail when the tool is absent.

@@ -16,7 +16,7 @@
    Entries appearing in only one file are listed but never fail the
    run, so adding or retiring a benchmark does not break the guard.
 
-   Additionally, four structural guards run on the NEW baseline alone:
+   Additionally, five structural guards run on the NEW baseline alone:
 
    - "... (partitions=N)" entries must strictly decrease as N grows
      (recovery partition scaling — the values are deterministic
@@ -30,7 +30,11 @@
      meet the post-knee one, is a broken rig);
    - "shootout: commit tps (paxos F=0)" must stay within 5% of
      "shootout: commit tps (2pc)" (the degenerate single-acceptor
-     Paxos Commit must keep collapsing to the 2PC exchange).
+     Paxos Commit must keep collapsing to the 2PC exchange);
+   - the "scaling: 64-site wall ms (domains=N, cores=C)" curve must be
+     monotone non-decreasing in wall-clock throughput from 1 to 2 to 4
+     domains and >= 1.5x faster at 4 domains — enforced only when the
+     recorded host core count C is >= 4 (SKIP is printed otherwise).
 
    Exits 1 iff some shared entry regressed or a structural guard
    failed. *)
@@ -297,6 +301,109 @@ let protocol_guard entries =
       if drift > 0.05 then 1 else 0
   | _ -> 0
 
+(* Engine-scaling guard, applied to the NEW baseline alone: the
+   "scaling: 64-site wall ms (domains=N, cores=C)" series must show the
+   sharded engine actually scaling — wall-clock throughput monotone
+   non-decreasing from 1 to 2 to 4 domains (5% tolerance for run-to-run
+   wall noise) and at least 1.5x faster at 4 domains than at 1. The
+   guard only arms itself when the recorded core count is >= 4: on
+   fewer cores multi-domain runs pay barrier overhead with no
+   parallelism, so the curve measures the host, not the engine. The
+   core count lives in the entry NAME precisely so baselines from
+   different machines never get wall-clock-compared entry-to-entry by
+   the generic ns guard above. *)
+let scaling_key = "scaling: "
+let domains_key = "(domains="
+
+let scaling_point_of name =
+  if not (contains_sub name scaling_key) then None
+  else
+    let n = String.length name and m = String.length domains_key in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub name i m = domains_key then Some (i + m)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start -> (
+        match String.index_from_opt name start ',' with
+        | None -> None
+        | Some comma -> (
+            match
+              ( int_of_string_opt (String.sub name start (comma - start)),
+                String.index_from_opt name comma '=' )
+            with
+            | Some d, Some eq -> (
+                match String.index_from_opt name eq ')' with
+                | None -> None
+                | Some close -> (
+                    match
+                      int_of_string_opt
+                        (String.sub name (eq + 1) (close - eq - 1))
+                    with
+                    | Some c -> Some (d, c)
+                    | None -> None))
+            | _ -> None))
+
+let scaling_guard entries =
+  let points =
+    List.filter_map
+      (fun (name, v) ->
+        match scaling_point_of name with
+        | Some (d, c) -> Some (d, c, v)
+        | None -> None)
+      entries
+  in
+  match List.sort compare points with
+  | [] -> 0
+  | points ->
+      print_newline ();
+      let cores = match points with (_, c, _) :: _ -> c | [] -> 0 in
+      Printf.printf "%-55s %14s %14s\n"
+        (Printf.sprintf "ENGINE SCALING (host cores: %d)" cores)
+        "DOMAINS" "WALL ms";
+      List.iter
+        (fun (d, _, v) -> Printf.printf "%-55s %14d %14.1f\n" "" d v)
+        points;
+      if cores < 4 then begin
+        Printf.printf "%-55s %s\n" ""
+          (Printf.sprintf
+             "  SKIP: %d core(s) < 4 — speedup curve not enforced" cores);
+        0
+      end
+      else begin
+        let wall d =
+          List.find_map (fun (d', _, v) -> if d' = d then Some v else None)
+            points
+        in
+        match (wall 1, wall 2, wall 4) with
+        | Some w1, Some w2, Some w4 ->
+            let bad = ref 0 in
+            let check cond msg =
+              if not cond then begin
+                incr bad;
+                Printf.printf "%-55s %s\n" "" ("  <-- " ^ msg)
+              end
+            in
+            check (w2 <= w1 *. 1.05)
+              "NOT MONOTONE: 2 domains slower than 1 (beyond 5%)";
+            check (w4 <= w2 *. 1.05)
+              "NOT MONOTONE: 4 domains slower than 2 (beyond 5%)";
+            check (w1 /. w4 >= 1.5)
+              (Printf.sprintf "SPEEDUP %.2fx AT 4 DOMAINS: below 1.5x"
+                 (w1 /. w4));
+            if !bad = 0 then
+              Printf.printf "%-55s %s\n" ""
+                (Printf.sprintf "  speedup %.2fx at 4 domains (>= 1.5x ok)"
+                   (w1 /. w4));
+            !bad
+        | _ ->
+            Printf.printf "%-55s %s\n" ""
+              "  <-- MISSING POINT: domains 1, 2 and 4 all required";
+            1
+      end
+
 let () =
   let threshold = ref 1.25 in
   let tps_threshold = ref 0.92 in
@@ -344,15 +451,16 @@ let () =
   let wheel_regressions = wheel_guard new_entries in
   let knee_regressions = knee_guard new_entries in
   let protocol_regressions = protocol_guard new_entries in
+  let domain_regressions = scaling_guard new_entries in
   let regressions =
     ns_regressions + tps_regressions + scaling_regressions + wheel_regressions
-    + knee_regressions + protocol_regressions
+    + knee_regressions + protocol_regressions + domain_regressions
   in
   if regressions > 0 then begin
     Printf.printf
       "\n%d entr(y/ies) regressed vs %s (ns > %.2fx, tps < %.2fx, or a \
        structural guard — partition scaling, wheel-vs-heap, open-loop knee, \
-       Paxos-F=0 parity — failed).\n"
+       Paxos-F=0 parity, engine domain scaling — failed).\n"
       regressions old_path !threshold !tps_threshold;
     exit 1
   end

@@ -19,7 +19,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let json_path =
-  let path = ref "BENCH_6.json" in
+  let path = ref "BENCH_7.json" in
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
     Sys.argv;
@@ -479,6 +479,24 @@ let open_loop_estimates () =
       ])
     (Camelot_experiments.Open_loop.run ())
 
+(* Batched-dequeue point at the open-loop knee (virtual time,
+   deterministic): the sweep's knee load (400 tps) re-run with
+   [~batch:8] — each executor wakeup charges one context switch and
+   drains up to 8 queued transactions. The un-batched load=400 entries
+   above are the comparator pair; the names avoid the "p99 ms (load="
+   pattern so these points never join the knee-guard series. *)
+let batch_estimates () =
+  let p =
+    Camelot_experiments.Open_loop.run_one
+      ~arrival:(Camelot_experiments.Open_loop.Poisson { rate_tps = 400.0 })
+      ~batch:8 ~horizon_ms:5_000.0 ()
+  in
+  [
+    ("open-loop: knee p99 ms (batch=8)", Some p.Camelot_experiments.Open_loop.p99_ms);
+    ( "open-loop: knee done tps (batch=8)",
+      Some p.Camelot_experiments.Open_loop.completed_tps );
+  ]
+
 (* Protocol-shootout points (virtual time, deterministic): committed
    transactions per virtual second and protocol messages per
    transaction for every commit protocol on the closed-loop
@@ -495,6 +513,24 @@ let shootout_estimates () =
           Some r.sh_msgs_per_txn );
       ])
     (Camelot_experiments.Shootout.collect ~horizon_ms:20_000.0 ())
+
+(* Engine-scaling points (wall clock, genuinely host-dependent — the
+   one part of the baseline that is not virtual time): the 64-site
+   closed-loop workload at 1/2/4/8 engine domains. Every entry name
+   carries the host core count, so baselines from different machines
+   never get compared entry-to-entry; on the same machine the 25%
+   ns-guard catches a sharded engine that got slower. compare.exe's
+   scaling guard additionally holds the speedup curve (monotone to
+   >= 1.5x at 4 domains) — but only arms itself when the recorded core
+   count is >= 4, since speedup on fewer cores measures nothing. *)
+let scaling_estimates () =
+  let cores = Camelot_experiments.Scaling.host_cores () in
+  List.map
+    (fun (p : Camelot_experiments.Scaling.point) ->
+      ( Printf.sprintf "scaling: 64-site wall ms (domains=%d, cores=%d)"
+          p.sc_domains cores,
+        Some (1000.0 *. p.sc_wall_s) ))
+    (Camelot_experiments.Scaling.run ~horizon_ms:4_000.0 ())
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable baseline *)
@@ -552,7 +588,7 @@ let () =
   let repro_wall_clock_s = Unix.gettimeofday () -. t0 in
   let estimates =
     micro_benchmarks () @ recovery_sweep_estimates () @ open_loop_estimates ()
-    @ shootout_estimates ()
+    @ batch_estimates () @ shootout_estimates () @ scaling_estimates ()
   in
   write_baseline ~path:json_path ~repro_wall_clock_s ~throughput estimates;
   print_newline ();

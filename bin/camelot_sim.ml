@@ -85,7 +85,15 @@ let chaos_cmd =
       & opt (some string) (Sys.getenv_opt "CAMELOT_CORPUS")
       & info [ "corpus" ] ~docv:"DIR" ~doc)
   in
-  let run budget seed schedule workload inject_bug fuzz corpus () =
+  let jobs =
+    let doc =
+      "Parallel fuzzing jobs for --fuzz, one OCaml domain each. The budget \
+       is split across jobs; a shared --corpus merges their finds by \
+       coverage signature."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let run budget seed schedule workload inject_bug fuzz corpus jobs () =
     let open Camelot_chaos_explorer in
     let mutate_config c =
       if inject_bug then c.Camelot_core.State.unsafe_skip_prepare_force <- true
@@ -117,8 +125,8 @@ let chaos_cmd =
         in
         let r =
           if fuzz then
-            Explorer.fuzz ~mutate_config ~budget ~seed ?corpus_dir:corpus
-              ?workloads ~progress ()
+            Explorer.fuzz ~mutate_config ~budget ~seed ~jobs
+              ?corpus_dir:corpus ?workloads ~progress ()
           else
             Explorer.explore ~mutate_config ~budget ~seed ?workloads ~progress ()
         in
@@ -156,7 +164,7 @@ let chaos_cmd =
     "Deterministic fault-schedule explorer/fuzzer with AC1-AC5 oracles."
     Term.(
       const run $ budget $ seed $ schedule $ workload $ inject_bug $ fuzz
-      $ corpus $ const ())
+      $ corpus $ jobs $ const ())
 
 let cmds =
   [
@@ -215,16 +223,57 @@ let cmds =
        let doc = "Virtual milliseconds per sweep point." in
        Arg.(value & opt float 5_000.0 & info [ "horizon" ] ~docv:"MS" ~doc)
      in
+     let batch =
+       let doc =
+         "Batched executor dequeue: each wakeup charges one context switch \
+          and drains up to $(docv) queued transactions."
+       in
+       Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"K" ~doc)
+     in
+     let diurnal =
+       let doc =
+         "Replace the load sweep with one built-in day curve (sinusoidal \
+          piecewise-rate Poisson, trough 15% of --peak, 24 segments over the \
+          horizon)."
+       in
+       Arg.(value & flag & info [ "diurnal" ] ~doc)
+     in
+     let peak =
+       let doc = "Peak rate of the --diurnal day curve, transactions/second." in
+       Arg.(value & opt float 800.0 & info [ "peak" ] ~docv:"TPS" ~doc)
+     in
+     let trace =
+       let doc =
+         "Replay a rate trace (one \"t_ms rate_tps\" per line, '#' comments) \
+          as a piecewise-rate Poisson arrival process."
+       in
+       Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+     in
      experiment "open-loop"
-       "Open-loop sweep: Poisson arrivals, Zipf keys, queue-sharded \
-        execution; p50/p99/p999, abort rate, saturation knee."
+       "Open-loop sweep: Poisson arrivals (optionally diurnal or \
+        trace-driven), Zipf keys, queue-sharded execution; p50/p99/p999, \
+        abort rate, saturation knee."
        Term.(
-         const (fun sites mix loads horizon_ms () ->
-             ignore
-               (Camelot_experiments.Open_loop.run ~sites ~mix ?loads
-                  ~horizon_ms ()
-                 : Camelot_experiments.Open_loop.point list))
-         $ sites $ mix $ loads $ ol_horizon $ const ()));
+         const (fun sites mix loads horizon_ms batch diurnal peak trace () ->
+             let module O = Camelot_experiments.Open_loop in
+             match trace with
+             | Some file ->
+                 ignore
+                   (O.run_piecewise ~sites ~mix ?batch
+                      ~arrival:(O.trace_of_file file) ~horizon_ms ()
+                     : O.point)
+             | None when diurnal ->
+                 ignore
+                   (O.run_piecewise ~sites ~mix ?batch
+                      ~arrival:(O.day_curve ~peak_tps:peak ~horizon_ms ())
+                      ~horizon_ms ()
+                     : O.point)
+             | None ->
+                 ignore
+                   (O.run ~sites ~mix ?batch ?loads ~horizon_ms ()
+                     : O.point list))
+         $ sites $ mix $ loads $ ol_horizon $ batch $ diurnal $ peak $ trace
+         $ const ()));
     (let sh_sites =
        let doc = "Sites per cluster (every transaction updates all of them)." in
        Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc)
@@ -247,6 +296,23 @@ let cmds =
                   ~horizon_ms ()
                  : Camelot_experiments.Shootout.row list))
          $ sh_sites $ workers $ sh_horizon $ const ()));
+    (let domains =
+       let doc = "Engine domain counts to sweep." in
+       Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "domains" ] ~docv:"N,..." ~doc)
+     in
+     let sc_horizon =
+       let doc = "Virtual milliseconds per domain count." in
+       Arg.(value & opt float 3_000.0 & info [ "horizon" ] ~docv:"MS" ~doc)
+     in
+     experiment "scaling"
+       "Engine scaling: the 64-site closed-loop workload at 1/2/4/8 engine \
+        domains; identical virtual-time results, wall-clock speedup curve."
+       Term.(
+         const (fun domain_range horizon_ms () ->
+             ignore
+               (Camelot_experiments.Scaling.run ~horizon_ms ~domain_range ()
+                 : Camelot_experiments.Scaling.point list))
+         $ domains $ sc_horizon $ const ()));
     (let records =
        let doc = "Log records to replay per partition count." in
        Arg.(value & opt int 100_000 & info [ "records" ] ~docv:"N" ~doc)

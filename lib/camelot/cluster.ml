@@ -12,8 +12,11 @@ type node = {
 type logger = Fixed | Adaptive
 
 type t = {
-  engine : Engine.t;
-  lan : Camelot_net.Lan.t;
+  engine : Engine.t;  (* shard 0's engine *)
+  engines : Engine.t array;  (* one per shard *)
+  lan : Camelot_net.Lan.t;  (* shard 0's lan *)
+  lans : Camelot_net.Lan.t array;  (* one per shard *)
+  fabric : Domains.t option;  (* present iff domains > 1 *)
   model : Cost_model.t;
   nodes : node array;
   flush_every_ms : float;
@@ -79,16 +82,31 @@ let start_checkpointer ~flush_every_ms n ~every =
 let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
     ?(group_commit = false) ?(logger = Fixed) ?checkpoint_every ?flush_every_ms
     ?(loss = 0.0) ?(dep_logging = false) ?(recovery_partitions = 1)
-    ?timers ?lock_timeout_ms ~sites () =
+    ?timers ?lock_timeout_ms ?(domains = 1) ~sites () =
   if sites <= 0 then invalid_arg "Cluster.create: need at least one site";
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Cluster.create: checkpoint_every must be positive"
   | _ -> ());
   if recovery_partitions <= 0 then
     invalid_arg "Cluster.create: recovery_partitions must be positive";
-  let engine = Engine.create ?timers () in
+  if domains <= 0 then invalid_arg "Cluster.create: domains must be positive";
+  let domains = min domains sites in
+  (* domains = 1 constructs exactly the legacy single-engine cluster:
+     one engine, one LAN, no fabric, and the same RNG split sequence
+     (one LAN split, then one split per site) — byte-identical to the
+     non-sharded code this generalizes. *)
+  let engines = Array.init domains (fun _ -> Engine.create ?timers ()) in
+  let engine = engines.(0) in
+  let fabric =
+    if domains = 1 then None
+    else Some (Domains.create ~lookahead:(Cost_model.lookahead_ms model) engines)
+  in
   let rng = Rng.create ~seed in
-  let lan = Camelot_net.Lan.create ~loss engine ~model ~rng:(Rng.split rng) in
+  let lans =
+    Array.init domains (fun shard ->
+        Camelot_net.Lan.create ~loss engines.(shard) ~model ~rng:(Rng.split rng))
+  in
+  let lan = lans.(0) in
   let directory = Hashtbl.create 16 in
   let base_config =
     match config with Some c -> c | None -> State.default_config ()
@@ -100,7 +118,11 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
   in
   let nodes =
     Array.init sites (fun id ->
-        let site = Site.create engine ~id ~model ~rng:(Rng.split rng) in
+        let shard = Placement.shard_of_site ~sites ~domains id in
+        let site =
+          Site.create ~shard ?fabric engines.(shard) ~id ~model
+            ~rng:(Rng.split rng)
+        in
         let log =
           match logger with
           | Fixed -> Camelot_wal.Log.create ~group_commit ~dep_logging site
@@ -112,7 +134,7 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
         in
         start_log_daemons ~flush_every_ms log;
         let tranman =
-          Tranman.create site ~lan ~log ~directory
+          Tranman.create site ~lan:lans.(shard) ~log ~directory
             ~config:(State.copy_config base_config)
         in
         let servers =
@@ -126,7 +148,10 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
   let t =
     {
       engine;
+      engines;
       lan;
+      lans;
+      fabric;
       model;
       nodes;
       flush_every_ms;
@@ -144,6 +169,9 @@ let create ?(seed = 1) ?(model = Cost_model.rt) ?config ?(servers_per_site = 1)
 
 let engine t = t.engine
 let lan t = t.lan
+let lans t = Array.to_list t.lans
+let domains t = Array.length t.engines
+let fabric t = t.fabric
 let sites t = Array.length t.nodes
 
 let node t i =
@@ -206,8 +234,12 @@ let restart_site t i =
   Camelot_recovery.Recovery.run ~partitions:t.recovery_partitions
     ~tranman:n.tranman ~log:n.log ~servers:n.servers ()
 
-let partition t groups = Camelot_net.Lan.partition t.lan groups
+let partition t groups =
+  Array.iter (fun lan -> Camelot_net.Lan.partition lan groups) t.lans
 
-let heal t = Camelot_net.Lan.heal t.lan
+let heal t = Array.iter Camelot_net.Lan.heal t.lans
 
-let run ?until t = Engine.run ?until t.engine
+let run ?until t =
+  match t.fabric with
+  | None -> Engine.run ?until t.engine
+  | Some fabric -> Domains.run ?until fabric

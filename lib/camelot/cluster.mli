@@ -64,7 +64,17 @@ type logger = Fixed | Adaptive
     of pending arrival timers)
     @param lock_timeout_ms bound data-server lock waits: a transaction
     waiting longer aborts with [Lock_timeout] instead of blocking
-    forever (default: wait forever — the paper-reproduction behavior) *)
+    forever (default: wait forever — the paper-reproduction behavior)
+    @param domains engine shards, one OCaml domain each (default 1;
+    capped at [sites]). Sites are placed in contiguous blocks
+    ({!Camelot_mach.Placement}); cross-shard datagrams and RPCs ride
+    the conservative-lookahead fabric ({!Camelot_sim.Domains}), whose
+    window is {!Camelot_mach.Cost_model.lookahead_ms} of [model].
+    [domains = 1] constructs the legacy single-engine cluster,
+    bit-identical to previous behavior. With [domains > 1],
+    {!crash_site}/{!restart_site}/{!checkpoint}/{!partition}/{!heal}
+    must only be called between {!run}s (when no domain is running)
+    or from a fiber of the site's own shard. *)
 val create :
   ?seed:int ->
   ?model:Camelot_mach.Cost_model.t ->
@@ -79,12 +89,27 @@ val create :
   ?recovery_partitions:int ->
   ?timers:Camelot_sim.Engine.timers ->
   ?lock_timeout_ms:float ->
+  ?domains:int ->
   sites:int ->
   unit ->
   t
 
+(** Shard 0's engine (the only engine when [domains = 1]). *)
 val engine : t -> Camelot_sim.Engine.t
+
+(** Shard 0's LAN segment (the only one when [domains = 1]). *)
 val lan : t -> Camelot_net.Lan.t
+
+(** Every shard's LAN segment, shard order. Traffic counters must be
+    summed across all of them on a multi-domain cluster. *)
+val lans : t -> Camelot_net.Lan.t list
+
+(** Number of engine shards (1 = legacy single-domain). *)
+val domains : t -> int
+
+(** The conservative-sync fabric, present iff [domains > 1]. *)
+val fabric : t -> Camelot_sim.Domains.t option
+
 val sites : t -> int
 val node : t -> int -> node
 val tranman : t -> int -> Tranman.t

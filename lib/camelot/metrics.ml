@@ -76,13 +76,14 @@ let site_snapshot cluster elapsed i =
 
 let collect cluster =
   let elapsed = Engine.now (Cluster.engine cluster) in
-  let lan = Cluster.lan cluster in
+  let lans = Cluster.lans cluster in
+  let sum f = List.fold_left (fun acc lan -> acc + f lan) 0 lans in
   {
     elapsed_ms = elapsed;
     sites = List.init (Cluster.sites cluster) (site_snapshot cluster elapsed);
-    datagrams_sent = Camelot_net.Lan.sent lan;
-    datagrams_delivered = Camelot_net.Lan.delivered lan;
-    datagrams_dropped = Camelot_net.Lan.dropped lan;
+    datagrams_sent = sum Camelot_net.Lan.sent;
+    datagrams_delivered = sum Camelot_net.Lan.delivered;
+    datagrams_dropped = sum Camelot_net.Lan.dropped;
   }
 
 let sum_sites f t = List.fold_left (fun acc s -> acc + f s) 0 t.sites

@@ -40,7 +40,12 @@ val registered : unit -> (string * kind) list
 (** [attach ~on_hit ~crash] connects an explorer. [on_hit] is called
     on every hit of every point; [crash] must fail-stop the given site
     (kill its fiber group and truncate its volatile log tail).
-    Attaching replaces any previous sink. *)
+    Attaching replaces any previous sink.
+
+    The sink (and the notes below) are domain-local: each OCaml domain
+    attaches its own, so parallel fuzz jobs — one explorer per domain —
+    never observe each other. A domain with nothing attached sees the
+    hooks as free no-ops. *)
 val attach :
   on_hit:(point:string -> site:int -> action) -> crash:(site:int -> unit) -> unit
 

@@ -59,18 +59,29 @@ let load t =
             with Sys_error _ -> None)
           files
 
+(* Atomic publication: write to a domain-unique temp name in the same
+   directory, then rename over the final name. Parallel fuzz jobs (and
+   concurrent sessions) racing on the same signature therefore only
+   ever expose complete files — and equal signatures carry equal
+   content, so last-rename-wins is harmless. [load] only picks up
+   ".schedule" files, so stray temps from a killed session are inert. *)
 let write_file t name lines =
   match t.dir with
   | None -> ()
   | Some d -> (
       try
-        let oc = open_out (Filename.concat d name) in
+        let tmp =
+          Filename.concat d
+            (Printf.sprintf "%s.tmp.%d" name (Domain.self () :> int))
+        in
+        let oc = open_out tmp in
         List.iter
           (fun l ->
             output_string oc l;
             output_char oc '\n')
           lines;
-        close_out oc
+        close_out oc;
+        Sys.rename tmp (Filename.concat d name)
       with Sys_error _ -> ())
 
 (* Admit a schedule that grew global coverage. Returns false when an

@@ -565,9 +565,13 @@ let explore ?mutate_config ?(budget = 1200) ?(seed = 42) ?workloads
    replay next (admitted again if they still grow coverage); then the
    budget is spent mutating corpus schedules, preferring recent
    growers. A child enters the corpus iff it contributed at least one
-   globally-new tuple. *)
-let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
-    ?(max_failures = 3) ?(progress = fun (_ : int) (_ : int) -> ()) () =
+   globally-new tuple.
+
+   [fuzz_one] is one job's worth; it additionally returns the job's
+   distinct-tuple set so a parallel merge can union coverage instead
+   of double-counting. *)
+let fuzz_one ?mutate_config ~budget ~seed ?corpus_dir ?workloads
+    ~max_failures ~progress () =
   let workloads =
     match workloads with Some ws -> ws | None -> default_workloads ()
   in
@@ -711,7 +715,106 @@ let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?corpus_dir ?workloads
         consider r;
         admit r fresh
   done;
-  search_report sr ~corpus:(Corpus.size corpus)
+  ( search_report sr ~corpus:(Corpus.size corpus),
+    Hashtbl.fold (fun t () acc -> t :: acc) sr.sr_tuples [] )
+
+(* --- parallel fuzzing --------------------------------------------- *)
+
+(* Seed stride between jobs: a large prime, so derived per-schedule rng
+   streams of neighbouring jobs never line up. *)
+let job_seed_stride = 1_000_003
+
+(* Union of per-job reports. Coverage and workload-run counts add;
+   tuple sets union (signatures admitted by several jobs count once);
+   the growth curve collapses to its final (runs, tuples) sample —
+   per-job curves don't compose meaningfully. *)
+let merge_reports ~corpus parts =
+  let registered = List.map fst (Camelot_chaos.registered ()) in
+  let coverage = Hashtbl.create 64 in
+  let wruns = Hashtbl.create 16 in
+  let tuples = Hashtbl.create 256 in
+  let bump tbl k n =
+    Hashtbl.replace tbl k (Option.value ~default:0 (Hashtbl.find_opt tbl k) + n)
+  in
+  List.iter
+    (fun ((r : report), tups) ->
+      List.iter (fun (p, n) -> bump coverage p n) r.rp_coverage;
+      List.iter (fun (w, n) -> bump wruns w n) r.rp_workload_runs;
+      List.iter (fun t -> Hashtbl.replace tuples t ()) tups)
+    parts;
+  let runs = List.fold_left (fun acc ((r : report), _) -> acc + r.rp_runs) 0 parts in
+  let distinct = Hashtbl.length tuples in
+  {
+    rp_runs = runs;
+    rp_failures = List.concat_map (fun ((r : report), _) -> r.rp_failures) parts;
+    rp_coverage =
+      List.filter_map
+        (fun p -> Option.map (fun n -> (p, n)) (Hashtbl.find_opt coverage p))
+        registered;
+    rp_missing = List.filter (fun p -> not (Hashtbl.mem coverage p)) registered;
+    rp_tuples = distinct;
+    rp_workload_runs =
+      List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) wruns []);
+    rp_corpus = corpus;
+    (* job-local indices; the max is "the deepest any job got before
+       coverage dried up" *)
+    rp_last_new =
+      List.fold_left (fun acc ((r : report), _) -> max acc r.rp_last_new) 0 parts;
+    rp_growth = [ (runs, distinct) ];
+  }
+
+(* Count the published corpus entries on disk, after every job has
+   finished renaming its admissions in. *)
+let corpus_files dir =
+  if not (Sys.file_exists dir) then 0
+  else
+    Array.fold_left
+      (fun acc f -> if Filename.check_suffix f ".schedule" then acc + 1 else acc)
+      0 (Sys.readdir dir)
+
+(* [fuzz ~jobs:n] splits the budget over [n] independent fuzzing jobs,
+   one OCaml domain each, seeded [seed + i * stride]. Jobs share the
+   corpus directory — admissions are atomic renames keyed by coverage
+   signature, so concurrent jobs merge by signature and a job's finds
+   seed later sessions of every other job — but not in-memory state:
+   each job runs its own explorer behind its own domain-local chaos
+   sink. *)
+let fuzz ?mutate_config ?(budget = 5000) ?(seed = 42) ?(jobs = 1) ?corpus_dir
+    ?workloads ?(max_failures = 3)
+    ?(progress = fun (_ : int) (_ : int) -> ()) () =
+  if jobs <= 0 then invalid_arg "Explorer.fuzz: jobs must be positive";
+  if jobs = 1 then
+    fst
+      (fuzz_one ?mutate_config ~budget ~seed ?corpus_dir ?workloads
+         ~max_failures ~progress ())
+  else begin
+    let jobs = min jobs budget in
+    let done_runs = Atomic.make 0 in
+    let progress_mu = Mutex.create () in
+    let global_progress (_ : int) (_ : int) =
+      let n = Atomic.fetch_and_add done_runs 1 + 1 in
+      Mutex.lock progress_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock progress_mu)
+        (fun () -> progress n budget)
+    in
+    let job i () =
+      let share = (budget / jobs) + if i < budget mod jobs then 1 else 0 in
+      fuzz_one ?mutate_config ~budget:share
+        ~seed:(seed + (i * job_seed_stride))
+        ?corpus_dir ?workloads ~max_failures ~progress:global_progress ()
+    in
+    let rest = Array.init (jobs - 1) (fun i -> Domain.spawn (job (i + 1))) in
+    let first = job 0 () in
+    let parts = first :: Array.to_list (Array.map Domain.join rest) in
+    let corpus =
+      match corpus_dir with
+      | Some d -> corpus_files d
+      | None ->
+          List.fold_left (fun acc ((r : report), _) -> acc + r.rp_corpus) 0 parts
+    in
+    merge_reports ~corpus parts
+  end
 
 (* --- reporting ---------------------------------------------------- *)
 

@@ -23,13 +23,85 @@ module Dispatch = Camelot_mach.Dispatch
 
 (* Arrival process, by offered rate in transactions/second. [Bursty]
    keeps the same mean rate but releases arrivals [burst] at a time at
-   Poisson epochs — a crude on/off source that stresses queue depth. *)
+   Poisson epochs — a crude on/off source that stresses queue depth.
+   [Piecewise] is a piecewise-constant-rate Poisson process — the
+   diurnal/trace-driven source: each [(start_ms, rate_tps)] segment
+   holds its rate until the next segment starts (the last one until the
+   horizon). *)
 type arrival =
   | Poisson of { rate_tps : float }
   | Bursty of { rate_tps : float; burst : int }
+  | Piecewise of { segments : (float * float) list }
 
+(* For [Piecewise] the offered rate is the peak segment rate — the
+   figure a capacity planner would quote for a diurnal curve. *)
 let offered_rate = function
   | Poisson { rate_tps } | Bursty { rate_tps; _ } -> rate_tps
+  | Piecewise { segments } ->
+      List.fold_left (fun acc (_, r) -> Float.max acc r) 0.0 segments
+
+(* Built-in day curve: one sinusoidal "day" mapped onto the horizon,
+   starting and ending at the overnight trough (15% of peak), sampled
+   into [steps] constant-rate segments ("hours"). *)
+let trough_fraction = 0.15
+
+let day_curve ?(steps = 24) ~peak_tps ~horizon_ms () =
+  if steps <= 0 then invalid_arg "Open_loop.day_curve: steps must be positive";
+  if peak_tps <= 0.0 then
+    invalid_arg "Open_loop.day_curve: peak must be positive";
+  let mid = (1.0 +. trough_fraction) /. 2.0 in
+  let amp = (1.0 -. trough_fraction) /. 2.0 in
+  Piecewise
+    {
+      segments =
+        List.init steps (fun i ->
+            let start = horizon_ms *. float_of_int i /. float_of_int steps in
+            (* rate at the segment midpoint *)
+            let x = (float_of_int i +. 0.5) /. float_of_int steps in
+            let rate =
+              peak_tps *. (mid -. (amp *. Float.cos (2.0 *. Float.pi *. x)))
+            in
+            (start, rate));
+    }
+
+(* Trace file: one "t_ms rate_tps" pair per line ('#' comments and
+   blank lines ignored), ascending times — replayed as a [Piecewise]
+   arrival process. *)
+let trace_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let segments = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match
+             String.split_on_char ' ' line
+             |> List.concat_map (String.split_on_char '\t')
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> ()
+           | [ t; r ] -> (
+               match (float_of_string_opt t, float_of_string_opt r) with
+               | Some t, Some r -> segments := (t, r) :: !segments
+               | _ ->
+                   failwith
+                     (Printf.sprintf "%s:%d: malformed trace line" path !lineno))
+           | _ ->
+               failwith
+                 (Printf.sprintf
+                    "%s:%d: expected \"t_ms rate_tps\"" path !lineno)
+         done
+       with End_of_file -> ());
+      Piecewise { segments = List.rev !segments })
 
 (* Transaction mixes. [Debit_credit] is the TPC-style transfer pair —
    two exclusive locks taken in draw order (deliberately unordered, so
@@ -87,7 +159,44 @@ let arrival_times arrival ~rng ~horizon_ms =
           loop ()
         end
       in
-      loop ());
+      loop ()
+  | Piecewise { segments } ->
+      let segs = Array.of_list segments in
+      let n = Array.length segs in
+      Array.iteri
+        (fun i (start, rate) ->
+          if rate < 0.0 then
+            invalid_arg "Open_loop.arrival_times: negative segment rate";
+          if i > 0 && start <= fst segs.(i - 1) then
+            invalid_arg "Open_loop.arrival_times: segment starts must ascend")
+        segs;
+      let seg_end i = if i + 1 < n then fst segs.(i + 1) else horizon_ms in
+      (* Walk the segments, drawing exponential gaps at the current
+         segment's rate. A gap that overshoots the segment boundary is
+         discarded and redrawn from the boundary at the new rate —
+         exact for a piecewise-constant Poisson process, by
+         memorylessness. *)
+      t := Float.max 0.0 (fst segs.(0));
+      let i = ref 0 in
+      while !i < n && !t < horizon_ms do
+        let rate = snd segs.(!i) in
+        let e = Float.min (seg_end !i) horizon_ms in
+        if rate <= 0.0 then begin
+          t := e;
+          incr i
+        end
+        else begin
+          let next = !t +. Rng.exponential rng ~mean:(1000.0 /. rate) in
+          if next < e then begin
+            t := next;
+            out := !t :: !out
+          end
+          else begin
+            t := e;
+            incr i
+          end
+        end
+      done);
   List.rev !out
 
 type point = {
@@ -109,7 +218,7 @@ let key_name rank = Printf.sprintf "a%d" rank
 
 let run_one ?(seed = 17) ?(sites = 24) ?(mix = Debit_credit) ?(keys = 64)
     ?(theta = 0.99) ?(shards_per_site = 4) ?(executors_per_shard = 4)
-    ?(lock_timeout_ms = 50.0) ?(timers = Engine.Wheel_timers) ~arrival
+    ?(lock_timeout_ms = 50.0) ?(timers = Engine.Wheel_timers) ?batch ~arrival
     ~horizon_ms () =
   let executors = shards_per_site * executors_per_shard in
   let config = State.default_config ~threads:executors () in
@@ -122,7 +231,7 @@ let run_one ?(seed = 17) ?(sites = 24) ?(mix = Debit_credit) ?(keys = 64)
   let dispatches =
     Array.init sites (fun site ->
         Dispatch.create ~shards:shards_per_site
-          ~executors_per_shard
+          ~executors_per_shard ?batch
           (Camelot.Cluster.node c site).Camelot.Cluster.site)
   in
   let rng = Rng.create ~seed:(seed * 8191) in
@@ -218,11 +327,11 @@ let run_one ?(seed = 17) ?(sites = 24) ?(mix = Debit_credit) ?(keys = 64)
 let load_range = [ 100.0; 200.0; 400.0; 800.0; 1600.0 ]
 
 let sweep ?seed ?sites ?mix ?keys ?theta ?shards_per_site ?executors_per_shard
-    ?lock_timeout_ms ?(loads = load_range) ?(horizon_ms = 5_000.0) () =
+    ?lock_timeout_ms ?batch ?(loads = load_range) ?(horizon_ms = 5_000.0) () =
   List.map
     (fun rate ->
       run_one ?seed ?sites ?mix ?keys ?theta ?shards_per_site
-        ?executors_per_shard ?lock_timeout_ms
+        ?executors_per_shard ?lock_timeout_ms ?batch
         ~arrival:(Poisson { rate_tps = rate })
         ~horizon_ms ())
     loads
@@ -252,8 +361,8 @@ let pp_row p =
     string_of_int p.max_shard_depth;
   ]
 
-let run ?sites ?mix ?loads ?horizon_ms () =
-  let points = sweep ?sites ?mix ?loads ?horizon_ms () in
+let run ?sites ?mix ?batch ?loads ?horizon_ms () =
+  let points = sweep ?sites ?mix ?batch ?loads ?horizon_ms () in
   Report.header
     "Open loop: Poisson arrivals, Zipf(0.99) keys, queue-sharded execution \
      (wheel timers)";
@@ -280,3 +389,45 @@ let run ?sites ?mix ?loads ?horizon_ms () =
       print_endline
         "No saturation knee in this range: completions track offered load.");
   points
+
+(* Diurnal/trace replay: one run of a [Piecewise] arrival process,
+   reported as the familiar sweep row plus the shape of the curve. *)
+let run_piecewise ?sites ?mix ?batch ~arrival ~horizon_ms () =
+  let segments =
+    match arrival with
+    | Piecewise { segments } -> segments
+    | _ -> invalid_arg "Open_loop.run_piecewise: arrival must be Piecewise"
+  in
+  let p = run_one ?sites ?mix ?batch ~arrival ~horizon_ms () in
+  let trough =
+    List.fold_left (fun acc (_, r) -> Float.min acc r) infinity segments
+  in
+  Report.header
+    "Open loop, diurnal arrivals: piecewise-rate Poisson, Zipf(0.99) keys, \
+     queue-sharded execution";
+  Printf.printf
+    "%d rate segments over %.0f ms: peak %.0f tps, trough %.0f tps\n"
+    (List.length segments) horizon_ms p.offered_tps trough;
+  Report.table
+    ~columns:
+      [
+        "PEAK TPS";
+        "DONE TPS";
+        "ABORT%";
+        "p50 ms";
+        "p99 ms";
+        "p999 ms";
+        "BACKLOG";
+        "MAXQ";
+      ]
+    [ pp_row p ];
+  (if p.arrivals > 0 && float_of_int p.backlog > 0.1 *. float_of_int p.arrivals
+   then
+     print_endline
+       "Peak load saturates the executors: the backlog left at the horizon \
+        exceeds 10% of arrivals."
+   else
+     print_endline
+       "Completions track the diurnal curve: the trough drains what the peak \
+        queues.");
+  p

@@ -12,12 +12,30 @@
 
 (** Arrival process, by offered rate in transactions/second. [Bursty]
     has the same mean rate but releases [burst] arrivals at once at
-    Poisson epochs. *)
+    Poisson epochs. [Piecewise] is a piecewise-constant-rate Poisson
+    process (the diurnal/trace-driven source): each
+    [(start_ms, rate_tps)] segment holds its rate until the next
+    segment starts, the last one until the horizon. *)
 type arrival =
   | Poisson of { rate_tps : float }
   | Bursty of { rate_tps : float; burst : int }
+  | Piecewise of { segments : (float * float) list }
 
+(** The rate a capacity planner would quote: the nominal rate for
+    [Poisson]/[Bursty], the peak segment rate for [Piecewise]. *)
 val offered_rate : arrival -> float
+
+(** One sinusoidal "day" mapped onto the horizon — overnight trough
+    (15% of [peak_tps]) at both ends, peak in the middle — sampled
+    into [steps] (default 24) constant-rate segments. *)
+val day_curve :
+  ?steps:int -> peak_tps:float -> horizon_ms:float -> unit -> arrival
+
+(** Parse a rate trace — one "t_ms rate_tps" pair per line, ['#']
+    comments and blank lines ignored, times ascending — into a
+    [Piecewise] arrival.
+    @raise Failure on a malformed line; I/O exceptions pass through. *)
+val trace_of_file : string -> arrival
 
 (** [Debit_credit]: two-key transfers (90% single-site, 10% crossing to
     the next site over presumed-abort 2PC), keys drawn independently
@@ -57,7 +75,11 @@ type point = {
 
 (** One sweep point. Defaults: 24 sites, 4 shards x 4 executors per
     site, 64 accounts at Zipf theta 0.99, 50 ms lock timeout, wheel
-    timer backend, debit/credit mix. *)
+    timer backend, debit/credit mix.
+    @param batch batched executor dequeue (see
+    {!Camelot_mach.Dispatch.create}): each executor wakeup charges one
+    context switch and drains up to [batch] jobs. Default: legacy
+    per-job dequeue with no switch charge. *)
 val run_one :
   ?seed:int ->
   ?sites:int ->
@@ -68,6 +90,7 @@ val run_one :
   ?executors_per_shard:int ->
   ?lock_timeout_ms:float ->
   ?timers:Camelot_sim.Engine.timers ->
+  ?batch:int ->
   arrival:arrival ->
   horizon_ms:float ->
   unit ->
@@ -87,6 +110,7 @@ val sweep :
   ?shards_per_site:int ->
   ?executors_per_shard:int ->
   ?lock_timeout_ms:float ->
+  ?batch:int ->
   ?loads:float list ->
   ?horizon_ms:float ->
   unit ->
@@ -102,7 +126,20 @@ val knee : point list -> point option
 val run :
   ?sites:int ->
   ?mix:mix ->
+  ?batch:int ->
   ?loads:float list ->
   ?horizon_ms:float ->
   unit ->
   point list
+
+(** Run one [Piecewise] arrival (diurnal curve or replayed trace) and
+    print the curve shape plus the sweep row.
+    @raise Invalid_argument if [arrival] is not [Piecewise]. *)
+val run_piecewise :
+  ?sites:int ->
+  ?mix:mix ->
+  ?batch:int ->
+  arrival:arrival ->
+  horizon_ms:float ->
+  unit ->
+  point

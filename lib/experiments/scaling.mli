@@ -1,0 +1,44 @@
+(** Multicore scaling of the simulation engine: one 64-site closed-loop
+    workload (mostly single-site transactions, a small fraction of
+    ring-neighbor 2PC updates) run unchanged at 1/2/4/8 engine domains.
+    Every configuration is deterministic, and committed counts agree
+    within a fraction of a percent across domain counts (a sharded
+    cluster models one token-ring LAN segment per shard, so media
+    contention differs slightly) — the sweep's product is the
+    wall-clock speedup curve from domain parallelism. *)
+
+type point = {
+  sc_domains : int;
+  sc_committed : int;
+  sc_tps : float;  (** committed per second of virtual time *)
+  sc_wall_s : float;  (** wall clock of the [Cluster.run] call *)
+  sc_speedup : float;
+      (** wall clock of the domains=1 point over this point's *)
+}
+
+(** Sites in the fixed workload (64). *)
+val sites : int
+
+(** The domain counts [collect] sweeps by default ([1; 2; 4; 8]). *)
+val domain_range : int list
+
+(** [Domain.recommended_domain_count ()] — recorded next to every bench
+    point so the scaling guard only arms itself on hosts with enough
+    cores to show parallelism. *)
+val host_cores : unit -> int
+
+(** One run at one domain count (default seed 23, default horizon 3 s
+    of virtual time, the last second of which is a drain margin —
+    workers stop issuing so in-flight transactions finish inside the
+    run). [sc_speedup] is 1.0 here; only {!collect} normalizes against
+    the domains=1 wall clock. *)
+val run_one : ?seed:int -> ?horizon_ms:float -> domains:int -> unit -> point
+
+(** Sweep [domain_range] (first entry is the speedup baseline). *)
+val collect :
+  ?seed:int -> ?horizon_ms:float -> ?domain_range:int list -> unit -> point list
+
+(** Sweep, print the table plus the host-core and schedule-preservation
+    notes, return the points. *)
+val run :
+  ?seed:int -> ?horizon_ms:float -> ?domain_range:int list -> unit -> point list

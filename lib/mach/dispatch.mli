@@ -23,8 +23,19 @@ type t
 (** [create site] builds a dispatcher and spawns its executors into
     [site]'s current fiber group (default 4 shards, 1 executor each —
     one executor per shard gives serial per-shard execution, the
-    queue-oriented determinism guarantee). *)
-val create : ?policy:policy -> ?shards:int -> ?executors_per_shard:int -> Site.t -> t
+    queue-oriented determinism guarantee).
+    @param batch batched dequeue: each executor wakeup charges one
+    scheduler context switch ({!Cost_model.context_switch_us}) and then
+    drains up to [batch] queued jobs back-to-back before yielding, so
+    the switch cost is amortized over the batch. Default: the legacy
+    loop — no per-wakeup charge, one job per take. *)
+val create :
+  ?policy:policy ->
+  ?shards:int ->
+  ?executors_per_shard:int ->
+  ?batch:int ->
+  Site.t ->
+  t
 
 val shards : t -> int
 

@@ -1,0 +1,20 @@
+(* Site -> shard placement for domain-sharded simulations.
+
+   Contiguous blocks: with [sites] sites over [domains] shards, shard
+   0 gets sites [0 .. ceil-block), and so on. Contiguity keeps the
+   paper's "neighbor" access patterns (distributed updates walk
+   ascending site ids) mostly shard-local, and makes the placement
+   trivially stable across runs — determinism only needs the map to be
+   a pure function of (sites, domains). *)
+
+let shard_of_site ~sites ~domains id =
+  if domains <= 0 then invalid_arg "Placement.shard_of_site: domains <= 0";
+  if id < 0 || id >= sites then
+    invalid_arg "Placement.shard_of_site: site out of range";
+  let block = (sites + domains - 1) / domains in
+  min (id / block) (domains - 1)
+
+let sites_of_shard ~sites ~domains shard =
+  List.filter
+    (fun id -> shard_of_site ~sites ~domains id = shard)
+    (List.init sites Fun.id)

@@ -1,0 +1,9 @@
+(** Deterministic site → shard placement: contiguous blocks of
+    [ceil(sites / domains)] sites per shard. *)
+
+(** [shard_of_site ~sites ~domains id] is the shard owning site [id].
+    @raise Invalid_argument if [domains <= 0] or [id] out of range. *)
+val shard_of_site : sites:int -> domains:int -> int -> int
+
+(** All site ids owned by [shard], ascending. *)
+val sites_of_shard : sites:int -> domains:int -> int -> int list

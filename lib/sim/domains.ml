@@ -1,0 +1,207 @@
+(* Conservative (lookahead-synchronized) execution of several engines,
+   one per OCaml domain.
+
+   Virtual time is cut into windows of width [lookahead], the minimum
+   cross-shard transit delay. Every shard runs its own engine through
+   window [k] — strictly below the window's end, via [Float.pred] — in
+   parallel with the others, then meets the rest at a barrier. Any
+   event a shard creates for a peer during window [k] necessarily
+   lands at or after the window-[k] end (the transit delay is at least
+   one lookahead), so draining inboxes right after the barrier, before
+   anyone enters window [k+1], delivers every message ahead of any
+   event that could observe it. Within a shard, execution order is the
+   engine's usual deterministic [(time, seq)] order; cross-shard
+   messages are drained in [(arrival time, source shard, source
+   sequence)] order, so a run is a pure function of (seed, shard
+   count).
+
+   The calling domain runs shard 0; shards 1..n-1 get
+   [Domain.spawn]ed for the duration of each [run] call and joined
+   before it returns, so between runs the caller may touch any shard's
+   engine freely. *)
+
+type msg = {
+  at : float;  (* delivery time, >= the poster's window end *)
+  src : int;  (* posting shard, for deterministic drain order *)
+  seq : int;  (* per-source counter, ties within (at, src) *)
+  fn : unit -> unit;
+}
+
+type inbox = { mu : Mutex.t; mutable msgs : msg list; mutable size : int }
+
+type t = {
+  engines : Engine.t array;
+  lookahead : float;
+  inboxes : inbox array;
+  out_seq : int array;  (* per-source post counter; owner-written only *)
+  horizon : float array;  (* each shard's current window end; owner-written *)
+  pending : int array;  (* engine backlog snapshot taken before the barrier *)
+  errors : exn option array;
+  failed : bool Atomic.t;
+  mutable stop : bool;  (* shard 0's verdict, published between barriers *)
+  mutable windows : int;  (* completed windows, persisted across runs *)
+  (* sense-reversing barrier *)
+  bar_mu : Mutex.t;
+  bar_cv : Condition.t;
+  mutable bar_count : int;
+  mutable bar_phase : int;
+}
+
+(* Slack for float rounding: window ends are computed as [k *.
+   lookahead] while arrival times accumulate additively, so the two
+   can disagree by an ulp around a boundary. *)
+let eps = 1e-6
+
+let create ~lookahead engines =
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Domains.create: no engines";
+  if lookahead <= 0.0 then invalid_arg "Domains.create: lookahead <= 0";
+  {
+    engines;
+    lookahead;
+    inboxes =
+      Array.init n (fun _ -> { mu = Mutex.create (); msgs = []; size = 0 });
+    out_seq = Array.make n 0;
+    horizon = Array.make n 0.0;
+    pending = Array.make n 0;
+    errors = Array.make n None;
+    failed = Atomic.make false;
+    stop = false;
+    windows = 0;
+    bar_mu = Mutex.create ();
+    bar_cv = Condition.create ();
+    bar_count = 0;
+    bar_phase = 0;
+  }
+
+let shards t = Array.length t.engines
+let lookahead t = t.lookahead
+let engine t i = t.engines.(i)
+
+let post t ~src ~dst ~time fn =
+  if src = dst then Engine.schedule_at t.engines.(src) ~time fn
+  else begin
+    if time +. eps < t.horizon.(src) then
+      invalid_arg
+        (Printf.sprintf
+           "Domains.post: lookahead violation (time %.6f < horizon %.6f, \
+            shard %d -> %d)"
+           time t.horizon.(src) src dst);
+    let seq = t.out_seq.(src) in
+    t.out_seq.(src) <- seq + 1;
+    let m = { at = time; src; seq; fn } in
+    let ib = t.inboxes.(dst) in
+    Mutex.lock ib.mu;
+    ib.msgs <- m :: ib.msgs;
+    ib.size <- ib.size + 1;
+    Mutex.unlock ib.mu
+  end
+
+let barrier t =
+  Mutex.lock t.bar_mu;
+  let phase = t.bar_phase in
+  t.bar_count <- t.bar_count + 1;
+  if t.bar_count = Array.length t.engines then begin
+    t.bar_count <- 0;
+    t.bar_phase <- phase + 1;
+    Condition.broadcast t.bar_cv
+  end
+  else
+    while t.bar_phase = phase do
+      Condition.wait t.bar_cv t.bar_mu
+    done;
+  Mutex.unlock t.bar_mu
+
+(* Deliver everything queued for [me] into its engine, in
+   deterministic order. Runs strictly between barriers, so posts from
+   the window just finished are all visible; posts from the window
+   about to start go to the list we leave behind. *)
+let drain t me =
+  let ib = t.inboxes.(me) in
+  Mutex.lock ib.mu;
+  let msgs = ib.msgs in
+  ib.msgs <- [];
+  ib.size <- 0;
+  Mutex.unlock ib.mu;
+  match msgs with
+  | [] -> ()
+  | _ ->
+      let arr = Array.of_list msgs in
+      Array.sort
+        (fun a b ->
+          let c = Float.compare a.at b.at in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.src b.src in
+            if c <> 0 then c else Int.compare a.seq b.seq)
+        arr;
+      let eng = t.engines.(me) in
+      Array.iter (fun m -> Engine.schedule_at eng ~time:m.at m.fn) arr
+
+(* One shard's window loop. Each window costs three barrier
+   crossings, which carve the round into race-free phases:
+
+   - run .. barrier 1: every shard executes its window; all
+     cross-shard posts for this window complete before anyone passes.
+   - barrier 1 .. barrier 2: shard 0 alone reads the (now stable)
+     backlog and inbox snapshots and publishes a single stop/continue
+     verdict — one writer, so the shards cannot split-brain on it.
+   - barrier 2 .. barrier 3: every shard reads the verdict and, when
+     continuing, drains its own inbox. Nobody is executing yet, so a
+     drain captures exactly the messages of windows <= k — a fast
+     shard can never leak a window-[k+1] post into a slow shard's
+     drain, which keeps engine sequence numbers (and therefore
+     same-time tie-breaks) deterministic.
+
+   Returns the completed-window count for [t.windows] bookkeeping. *)
+let shard_loop t ?until me =
+  let eng = t.engines.(me) in
+  let k = ref t.windows in
+  let running = ref true in
+  while !running do
+    let window_end = t.lookahead *. float_of_int (!k + 1) in
+    t.horizon.(me) <- window_end;
+    let limit =
+      match until with
+      | Some u when u < window_end -> u
+      | _ -> Float.pred window_end
+    in
+    (try Engine.run ~until:limit eng
+     with e ->
+       t.errors.(me) <- Some e;
+       Atomic.set t.failed true);
+    t.pending.(me) <- Engine.pending eng;
+    barrier t;
+    if me = 0 then begin
+      let quiescent =
+        Array.for_all (fun p -> p = 0) t.pending
+        && Array.for_all (fun ib -> ib.size = 0) t.inboxes
+      in
+      let reached_until =
+        match until with Some u -> limit >= u | None -> false
+      in
+      t.stop <- Atomic.get t.failed || quiescent || reached_until
+    end;
+    barrier t;
+    if t.stop then running := false
+    else drain t me;
+    barrier t;
+    if !running then incr k
+  done;
+  !k
+
+let run ?until t =
+  let n = Array.length t.engines in
+  if n = 1 then Engine.run ?until t.engines.(0)
+  else begin
+    Atomic.set t.failed false;
+    Array.fill t.errors 0 n None;
+    let workers =
+      Array.init (n - 1) (fun i ->
+          Domain.spawn (fun () -> shard_loop t ?until (i + 1)))
+    in
+    let k0 = shard_loop t ?until 0 in
+    Array.iter (fun d -> ignore (Domain.join d : int)) workers;
+    t.windows <- k0;
+    Array.iter (function Some e -> raise e | None -> ()) t.errors
+  end

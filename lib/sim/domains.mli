@@ -1,0 +1,53 @@
+(** Conservative multi-domain execution of several {!Engine}s.
+
+    Partition a simulation's state into shards, give each shard its
+    own engine, and [run] them in parallel — one OCaml domain per
+    shard — under time-stepped conservative synchronization. The
+    window width is the {e lookahead}: the minimum virtual delay of
+    any cross-shard interaction. Each shard executes one window
+    (strictly below its end), meets the others at a barrier, drains
+    the messages peers posted during that window (all of which, by the
+    lookahead bound, arrive at or after the barrier time), and enters
+    the next window. Within a shard, ordering is the engine's usual
+    deterministic [(time, seq)] order; inboxes drain in
+    [(arrival, source shard, source seq)] order, so whole runs are a
+    pure function of (seed, shard count).
+
+    The shards only synchronize inside {!run}: construction and
+    post-run inspection happen on the calling domain, which also
+    serves as shard 0 during runs. *)
+
+type t
+
+(** [create ~lookahead engines] builds a fabric over [engines], with
+    [engines.(i)] owned by shard [i]. [lookahead] (virtual ms) must be
+    a lower bound on every cross-shard delivery delay; violations are
+    detected by {!post}. *)
+val create : lookahead:float -> Engine.t array -> t
+
+val shards : t -> int
+val lookahead : t -> float
+
+(** The engine owned by shard [i]. *)
+val engine : t -> int -> Engine.t
+
+(** [post t ~src ~dst ~time fn] schedules [fn] at virtual [time] on
+    shard [dst]'s engine. Must be called from shard [src]'s domain
+    (during a run) or from the calling domain between runs. A
+    same-shard post is an ordinary [Engine.schedule_at]; a cross-shard
+    post enqueues into [dst]'s inbox and is delivered at the next
+    window boundary.
+
+    @raise Invalid_argument if [time] is below the end of [src]'s
+    current window — i.e. the claimed delivery would break the
+    lookahead contract. *)
+val post : t -> src:int -> dst:int -> time:float -> (unit -> unit) -> unit
+
+(** [run ?until t] executes all shards in parallel until either every
+    engine is empty and every inbox drained (global quiescence) or
+    every shard has reached [until]. With a single shard this is
+    exactly [Engine.run ?until]. Window progress persists across
+    calls, so repeated [run ~until] calls extend the same timeline.
+    If a shard's engine raises, every shard stops at the next barrier
+    and the exception is re-raised on the calling domain. *)
+val run : ?until:float -> t -> unit

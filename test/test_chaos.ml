@@ -380,6 +380,43 @@ let test_fuzz_deterministic_and_beats_explore () =
       "coord.votes.collected";
     ]
 
+(* Parallel fuzzing: the budget splits exactly across the job domains,
+   every job runs behind its own domain-local sink (no cross-talk →
+   clean oracles), and admissions land in the shared corpus as
+   complete, replayable files. *)
+let test_fuzz_parallel_jobs () =
+  let dir = Filename.temp_dir "camelot-corpus-par" "" in
+  let r = Explorer.fuzz ~budget:200 ~seed:42 ~jobs:3 ~corpus_dir:dir () in
+  Alcotest.(check int) "budget spent across jobs" 200 r.Explorer.rp_runs;
+  Alcotest.(check bool) "parallel fuzz clean" true
+    (r.Explorer.rp_failures = []);
+  Alcotest.(check bool) "no fault point lost" true
+    (r.Explorer.rp_missing = []);
+  Alcotest.(check bool) "corpus populated" true (r.Explorer.rp_corpus > 0);
+  (* every published corpus file is complete: token line + signature
+     line, token parses, and no temp files leak into the load set *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".schedule" then begin
+        let ic = open_in (Filename.concat dir f) in
+        let token = input_line ic in
+        let stored_sig = input_line ic in
+        close_in ic;
+        Alcotest.(check bool)
+          ("corpus token parses: " ^ token)
+          true
+          (Schedule.of_string token <> None);
+        Alcotest.(check bool)
+          ("signature non-empty: " ^ f)
+          true
+          (String.length stored_sig > 0)
+      end)
+    (Sys.readdir dir);
+  (* the sequential fuzzer still owns this process's sink afterwards *)
+  let seq = Explorer.fuzz ~budget:60 ~seed:7 () in
+  Alcotest.(check bool) "sequential fuzz after parallel is clean" true
+    (seq.Explorer.rp_failures = [])
+
 (* The fuzzer finds, shrinks and reports the planted bug; the shrunk
    token replays to a failure with the bug and to a clean run without
    it. *)
@@ -452,5 +489,7 @@ let () =
             `Quick test_fuzz_deterministic_and_beats_explore;
           Alcotest.test_case "planted bug found and shrunk by fuzzing" `Quick
             test_fuzz_finds_and_shrinks_bug;
+          Alcotest.test_case "parallel jobs share a corpus" `Quick
+            test_fuzz_parallel_jobs;
         ] );
     ]

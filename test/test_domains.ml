@@ -1,0 +1,282 @@
+(* Domain-sharded engine tests: the conservative-lookahead fabric
+   itself, site placement, and the headline property — a seeded
+   workload produces identical committed/aborted outcomes, identical
+   recovered values and identical AC1–AC5 oracle verdicts whether the
+   cluster runs on 1, 2 or 4 domains — plus trace-merge determinism
+   (same seed + same domain count => identical merged trace). *)
+
+open Camelot_core
+open Camelot_sim
+open Camelot_chaos_explorer
+
+(* --- fabric unit tests -------------------------------------------- *)
+
+(* Two shards ping-ponging one message: every hop crosses the fabric
+   with exactly the lookahead delay, so arrival times are k * 10.0 and
+   the whole exchange is deterministic. *)
+let test_ping_pong () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let fabric = Domains.create ~lookahead:10.0 engines in
+  let log = ref [] in
+  let say shard what = log := (Engine.now engines.(shard), shard, what) :: !log in
+  let rec ping round =
+    if round < 4 then begin
+      say 0 "ping";
+      Domains.post fabric ~src:0 ~dst:1
+        ~time:(Engine.now engines.(0) +. 10.0)
+        (fun () ->
+          say 1 "pong";
+          Domains.post fabric ~src:1 ~dst:0
+            ~time:(Engine.now engines.(1) +. 10.0)
+            (fun () -> ping (round + 1)))
+    end
+  in
+  Engine.schedule engines.(0) ~delay:0.0 (fun () -> ping 0);
+  Domains.run fabric;
+  let got = List.rev !log in
+  let expected =
+    List.concat_map
+      (fun r ->
+        let t = 20.0 *. float_of_int r in
+        [ (t, 0, "ping"); (t +. 10.0, 1, "pong") ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (triple (float 1e-9) int string)))
+    "ping-pong schedule" expected got
+
+(* Quiescence termination: once no shard has events and no inbox has
+   messages, [run] returns even without [until]. The ping-pong above
+   already exercises this; here we check an [until] mid-stream leaves
+   the remaining exchange for a later run. *)
+let test_until_resumes () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let fabric = Domains.create ~lookahead:10.0 engines in
+  let hits = ref [] in
+  let rec bounce shard n =
+    if n > 0 then begin
+      hits := (Engine.now engines.(shard), shard) :: !hits;
+      Domains.post fabric ~src:shard ~dst:(1 - shard)
+        ~time:(Engine.now engines.(shard) +. 10.0)
+        (fun () -> bounce (1 - shard) (n - 1))
+    end
+  in
+  Engine.schedule engines.(0) ~delay:0.0 (fun () -> bounce 0 6);
+  Domains.run ~until:25.0 fabric;
+  let mid = List.length !hits in
+  Domains.run ~until:100.0 fabric;
+  Alcotest.(check int) "hops before until=25" 3 mid;
+  Alcotest.(check int) "all hops after resume" 6 (List.length !hits)
+
+(* A cross-shard post below the poster's window end must be rejected:
+   it would arrive in a window the receiver may already be past. *)
+let test_lookahead_violation () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let fabric = Domains.create ~lookahead:10.0 engines in
+  Engine.schedule engines.(0) ~delay:0.0 (fun () ->
+      Domains.post fabric ~src:0 ~dst:1 ~time:1.0 (fun () -> ()));
+  (match Domains.run fabric with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check pass) "raised on calling domain" () ()
+
+let test_placement () =
+  let open Camelot_mach in
+  List.iter
+    (fun (sites, domains) ->
+      (* every site has exactly one shard, shards are contiguous
+         ascending blocks, and all [domains] shards are used when
+         sites >= domains *)
+      let shards =
+        List.init sites (fun id -> Placement.shard_of_site ~sites ~domains id)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone (%d sites, %d domains)" sites domains)
+        true
+        (List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < sites - 1) shards)
+           (List.tl shards));
+      Alcotest.(check int)
+        (Printf.sprintf "all shards used (%d, %d)" sites domains)
+        (min sites domains)
+        (List.length (List.sort_uniq compare shards));
+      List.iteri
+        (fun shard members ->
+          List.iter
+            (fun id ->
+              Alcotest.(check int) "sites_of_shard agrees" shard
+                (Placement.shard_of_site ~sites ~domains id))
+            members;
+          ignore shard)
+        (List.init domains (Placement.sites_of_shard ~sites ~domains)))
+    [ (8, 1); (8, 2); (8, 4); (7, 3); (64, 8); (3, 8) ]
+
+(* --- single-domain ≡ multi-domain equivalence --------------------- *)
+
+let sites = 8
+let horizon_ms = 60_000.0
+
+(* Conflict-free seeded workload: every transaction writes its own
+   keys (so fault-free runs must commit everything — AC4), with the
+   second write three sites away, which crosses shards at every tested
+   domain count > 1. Protocols cycle so 2PC, non-blocking and
+   short-commit all cross the fabric. *)
+let specs =
+  List.init 12 (fun i ->
+      let origin = i mod sites in
+      let protocol =
+        match i mod 3 with
+        | 0 -> Protocol.Two_phase
+        | 1 -> Protocol.Nonblocking
+        | _ -> Protocol.Short_commit
+      in
+      ( Printf.sprintf "t%02d" i,
+        protocol,
+        origin,
+        [
+          (origin, Printf.sprintf "a%d" i, 1000 + i);
+          ((origin + 3) mod sites, Printf.sprintf "b%d" i, 2000 + i);
+        ] ))
+
+let all_keys =
+  List.concat_map (fun (_, _, _, writes) ->
+      List.map (fun (site, key, _) -> (site, key)) writes)
+    specs
+
+type verdicts = {
+  outcomes : (string * string) list;
+  values : ((int * string) * int) list;
+  recovered : ((int * string) * int) list;
+  oracle : string list;
+}
+
+let peek c site key =
+  Camelot_server.Data_server.peek (Camelot.Cluster.server c site) key
+
+let read_all c = List.map (fun (s, k) -> ((s, k), peek c s k)) all_keys
+
+let run_once ~domains =
+  let c =
+    Camelot.Cluster.create ~seed:23 ~model:Testutil.quiet_model ~sites ~domains
+      ()
+  in
+  let txns =
+    List.map
+      (fun (label, protocol, origin, writes) ->
+        Workload.start_txn c ~label ~protocol ~origin ~writes)
+      specs
+  in
+  Camelot.Cluster.run ~until:horizon_ms c;
+  let outcomes =
+    List.map
+      (fun (t : Workload.txn) ->
+        ( t.Workload.x_label,
+          match !(t.Workload.x_result) with
+          | Some o -> Format.asprintf "%a" Protocol.pp_outcome o
+          | None -> "unresolved" ))
+      txns
+  in
+  let values = read_all c in
+  (* Durability: crash every site (engines are idle between runs, so
+     this is the global-quiescence case the multi-domain API allows),
+     then restart each one from a fiber on its own shard and let the
+     fabric drive all recoveries in parallel. *)
+  for i = 0 to sites - 1 do
+    Camelot.Cluster.crash_site c i
+  done;
+  for i = 0 to sites - 1 do
+    let node = Camelot.Cluster.node c i in
+    Fiber.spawn
+      (Camelot_mach.Site.engine node.Camelot.Cluster.site)
+      ~name:(Printf.sprintf "restart%d" i)
+      (fun () -> ignore (Camelot.Cluster.restart_site c i : Tid.t list))
+  done;
+  Camelot.Cluster.run ~until:(2.0 *. horizon_ms) c;
+  let recovered = read_all c in
+  let oracle =
+    List.map
+      (fun v -> Format.asprintf "%a" Oracle.pp_violation v)
+      (Oracle.check ~fault_free:true c txns)
+  in
+  { outcomes; values; recovered; oracle }
+
+let test_equivalence () =
+  let reference = run_once ~domains:1 in
+  List.iter
+    (fun (_, o) -> Alcotest.(check string) "resolved" "committed" o)
+    reference.outcomes;
+  Alcotest.(check (list string)) "oracle clean at domains=1" [] reference.oracle;
+  List.iter
+    (fun domains ->
+      let r = run_once ~domains in
+      let label fmt = Printf.sprintf fmt domains in
+      Alcotest.(check (list (pair string string)))
+        (label "outcomes identical at domains=%d")
+        reference.outcomes r.outcomes;
+      Alcotest.(check (list (pair (pair int string) int)))
+        (label "values identical at domains=%d")
+        reference.values r.values;
+      Alcotest.(check (list (pair (pair int string) int)))
+        (label "recovered values identical at domains=%d")
+        reference.recovered r.recovered;
+      Alcotest.(check (list string))
+        (label "oracle verdicts identical at domains=%d")
+        reference.oracle r.oracle)
+    [ 2; 4 ]
+
+(* --- trace-merge determinism -------------------------------------- *)
+
+let merged_trace ~domains =
+  let c =
+    Camelot.Cluster.create ~seed:23 ~model:Testutil.quiet_model ~sites ~domains
+      ()
+  in
+  for i = 0 to sites - 1 do
+    Trace.set_enabled (Tranman.trace (Camelot.Cluster.tranman c i)) true
+  done;
+  let _txns =
+    List.map
+      (fun (label, protocol, origin, writes) ->
+        Workload.start_txn c ~label ~protocol ~origin ~writes)
+      specs
+  in
+  Camelot.Cluster.run ~until:horizon_ms c;
+  List.map
+    (fun (name, r) -> (name, r.Trace.time, r.Trace.tag, r.Trace.message))
+    (Trace.merge
+       (List.init sites (fun i ->
+            ( Printf.sprintf "site%d" i,
+              Tranman.trace (Camelot.Cluster.tranman c i) ))))
+
+let test_trace_merge_deterministic () =
+  List.iter
+    (fun domains ->
+      let a = merged_trace ~domains and b = merged_trace ~domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace non-trivial at domains=%d" domains)
+        true
+        (List.length a > 100);
+      Alcotest.(check bool)
+        (Printf.sprintf "merged trace identical at domains=%d" domains)
+        true (a = b))
+    [ 2; 4 ]
+
+let () =
+  Alcotest.run "camelot_domains"
+    [
+      ( "fabric",
+        [
+          Alcotest.test_case "ping-pong across shards" `Quick test_ping_pong;
+          Alcotest.test_case "until pauses and resumes" `Quick
+            test_until_resumes;
+          Alcotest.test_case "lookahead violation raises" `Quick
+            test_lookahead_violation;
+          Alcotest.test_case "contiguous placement" `Quick test_placement;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "outcomes/values/oracles identical at 1,2,4"
+            `Slow test_equivalence;
+          Alcotest.test_case "merged trace deterministic" `Slow
+            test_trace_merge_deterministic;
+        ] );
+    ]

@@ -282,6 +282,33 @@ let test_dispatch_shard_routing () =
       Alcotest.(check bool) (Printf.sprintf "shard %d used" i) true (n > 0))
     hit
 
+let test_dispatch_batch_amortizes_switches () =
+  (* batched dequeue charges one context switch per executor wakeup,
+     amortized over up to [batch] jobs; the legacy loop charges
+     nothing. Jobs are no-ops, so the site's CPU busy time is exactly
+     the switch charges. *)
+  let run batch jobs =
+    let eng = Engine.create () in
+    let site = make_site eng in
+    let d = Dispatch.create ~shards:1 ?batch site in
+    let order = ref [] in
+    for i = 1 to jobs do
+      ignore (Dispatch.submit d ~shard:0 (fun () -> order := i :: !order) : bool)
+    done;
+    Engine.run eng;
+    Alcotest.(check (list int))
+      "FIFO preserved"
+      (List.init jobs (fun i -> i + 1))
+      (List.rev !order);
+    Alcotest.(check int) "all completed" jobs (Dispatch.completed d);
+    Sync.Resource.busy_time (Site.cpu site)
+  in
+  let switch = Cost_model.rt.Cost_model.context_switch_us /. 1000.0 in
+  check_float "legacy loop charges nothing" 0.0 (run None 4);
+  check_float "batch=1 pays one switch per job" (4.0 *. switch) (run (Some 1) 4);
+  check_float "batch=2 halves the switches" (2.0 *. switch) (run (Some 2) 4);
+  check_float "batch=8 pays one switch for all" switch (run (Some 8) 4)
+
 let test_dispatch_respawns_after_restart () =
   let eng = Engine.create () in
   let site = make_site eng in
@@ -340,6 +367,8 @@ let () =
           Alcotest.test_case "bounded executor population" `Quick
             test_dispatch_bounded_executors;
           Alcotest.test_case "shard routing" `Quick test_dispatch_shard_routing;
+          Alcotest.test_case "batch amortizes context switches" `Quick
+            test_dispatch_batch_amortizes_switches;
           Alcotest.test_case "restart re-staffs executors" `Quick
             test_dispatch_respawns_after_restart;
         ] );
